@@ -1,0 +1,269 @@
+// Command corroborate runs a corroboration method over a vote dataset in
+// CSV format and reports the corroborated facts, the estimated source
+// trust, and — when the dataset carries ground-truth labels — the standard
+// evaluation metrics.
+//
+// Usage:
+//
+//	corroborate -method IncEstHeu -in votes.csv [-out results.csv] [-trajectory]
+//
+// The input format is one fact per row with one vote column per source
+// ("T", "F", or "-"), plus optional "label" and "golden" columns; see the
+// repository README for details and cmd/datagen for generators.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"corroborate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corroborate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	method := flag.String("method", "IncEstScale", "corroboration method (see -list)")
+	in := flag.String("in", "", "input dataset (CSV, or JSON with -format json)")
+	format := flag.String("format", "csv", "input format: csv or json")
+	out := flag.String("out", "", "optional output CSV of per-fact results")
+	jsonOut := flag.String("json", "", "optional output JSON of the full result")
+	compare := flag.String("compare", "", "second method: evaluate both and report the significance of the accuracy gap")
+	auditK := flag.Int("audit", 0, "plan this many in-person checks from the result (entropy-driven)")
+	stream := flag.String("stream", "", "comma-separated CSV files treated as successive batches of an online corroboration stream")
+	list := flag.Bool("list", false, "list available methods and exit")
+	trajectory := flag.Bool("trajectory", false, "print the incremental trust trajectory (IncEst* methods)")
+	flag.Parse()
+
+	if *list {
+		for _, m := range corroborate.Methods() {
+			fmt.Println(m.Name())
+		}
+		return nil
+	}
+	if *stream != "" {
+		return runStream(strings.Split(*stream, ","))
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in (use -list to see methods)")
+	}
+	m, err := corroborate.NewMethod(*method)
+	if err != nil {
+		return err
+	}
+	var d *corroborate.Dataset
+	switch *format {
+	case "csv":
+		d, err = corroborate.LoadCSV(*in)
+	case "json":
+		d, err = corroborate.LoadJSON(*in)
+	default:
+		return fmt.Errorf("unknown format %q (csv, json)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d facts, %d sources, %d votes (%.1f%% affirmative-only)\n",
+		d.NumFacts(), d.NumSources(), d.NumVotes(), 100*d.AffirmativeShare())
+
+	var result *corroborate.Result
+	if inc, ok := m.(*corroborate.IncEstimate); ok && *trajectory {
+		run, err := inc.RunDetailed(d)
+		if err != nil {
+			return err
+		}
+		result = run.Result
+		fmt.Println("\ntrust trajectory:")
+		for i, tp := range run.Trajectory {
+			fmt.Printf("t%-4d evaluated=%-6d trust=", i, len(tp.Evaluated))
+			for s, tr := range tp.Trust {
+				fmt.Printf("%s=%.2f ", d.SourceName(s), tr)
+			}
+			fmt.Println()
+		}
+	} else {
+		result, err = m.Run(d)
+		if err != nil {
+			return err
+		}
+	}
+
+	trueCount := 0
+	for _, p := range result.Predictions {
+		if p == corroborate.True {
+			trueCount++
+		}
+	}
+	fmt.Printf("\n%s: %d facts true, %d false\n", m.Name(), trueCount, d.NumFacts()-trueCount)
+	if result.Trust != nil {
+		fmt.Println("source trust:")
+		for s := 0; s < d.NumSources(); s++ {
+			fmt.Printf("  %-20s %.3f\n", d.SourceName(s), result.Trust[s])
+		}
+	}
+	if d.HasTruth() {
+		rep := corroborate.Evaluate(d, result)
+		fmt.Printf("evaluation (golden set of %d): precision=%.3f recall=%.3f accuracy=%.3f F1=%.3f (%s)\n",
+			rep.Confusion.Evaluated(), rep.Precision, rep.Recall, rep.Accuracy, rep.F1, rep.Confusion.String())
+		if iv, err := corroborate.BootstrapAccuracy(d, result, 2000, 0.95, 1); err == nil {
+			fmt.Printf("accuracy 95%% bootstrap interval: %s\n", iv)
+		}
+	}
+	if *compare != "" {
+		other, err := corroborate.NewMethod(*compare)
+		if err != nil {
+			return err
+		}
+		otherResult, err := other.Run(d)
+		if err != nil {
+			return err
+		}
+		if d.HasTruth() {
+			repA := corroborate.Evaluate(d, result)
+			repB := corroborate.Evaluate(d, otherResult)
+			p := corroborate.SignificanceTest(d, result, otherResult, 10000, 1)
+			fmt.Printf("\ncomparison: %s accuracy=%.3f vs %s accuracy=%.3f (paired permutation p=%.4f)\n",
+				m.Name(), repA.Accuracy, other.Name(), repB.Accuracy, p)
+		} else {
+			agree := 0
+			for f := range result.Predictions {
+				if result.Predictions[f] == otherResult.Predictions[f] {
+					agree++
+				}
+			}
+			fmt.Printf("\ncomparison: %s and %s agree on %d/%d facts (no labels for significance)\n",
+				m.Name(), other.Name(), agree, d.NumFacts())
+		}
+	}
+	if *auditK > 0 {
+		plan, err := corroborate.PlanAudit(d, result, *auditK, corroborate.AuditOptions{SkipLabeled: true})
+		if err != nil {
+			return err
+		}
+		if len(plan) == 0 {
+			// Everything is already labeled; plan over the full dataset
+			// (e.g. to prioritize re-verification).
+			if plan, err = corroborate.PlanAudit(d, result, *auditK, corroborate.AuditOptions{}); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\naudit plan (%d checks, highest expected information first):\n", len(plan))
+		for i, item := range plan {
+			fmt.Printf("  %2d. %-40s gain=%.2f (signature shared by %d facts)\n",
+				i+1, d.FactName(item.Fact), item.Gain, item.GroupSize)
+		}
+	}
+	if *out != "" {
+		if err := writeResults(*out, d, result); err != nil {
+			return err
+		}
+		fmt.Println("per-fact results written to", *out)
+	}
+	if *jsonOut != "" {
+		if err := writeResultJSON(*jsonOut, d, result); err != nil {
+			return err
+		}
+		fmt.Println("result JSON written to", *jsonOut)
+	}
+	return nil
+}
+
+// runStream feeds each file's votes as one batch of an online stream and
+// reports per-batch verdicts plus the carried trust.
+func runStream(paths []string) error {
+	st := corroborate.NewStream()
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		d, err := corroborate.LoadCSV(path)
+		if err != nil {
+			return err
+		}
+		var votes []corroborate.BatchVote
+		for f := 0; f < d.NumFacts(); f++ {
+			for _, sv := range d.VotesOnFact(f) {
+				votes = append(votes, corroborate.BatchVote{
+					Fact:   d.FactName(f),
+					Source: d.SourceName(sv.Source),
+					Vote:   sv.Vote,
+				})
+			}
+		}
+		out, err := st.AddBatch(votes)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		confirmed := 0
+		for _, sf := range out {
+			if sf.Prediction == corroborate.True {
+				confirmed++
+			}
+		}
+		fmt.Printf("batch %s: %d facts (%d confirmed, %d rejected)\n",
+			path, len(out), confirmed, len(out)-confirmed)
+	}
+	fmt.Println("carried trust:")
+	trust := st.Trust()
+	names := make([]string, 0, len(trust))
+	for name := range trust {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-20s %.3f\n", name, trust[name])
+	}
+	fmt.Printf("%d batches, %d facts total\n", st.Batches(), len(st.Decided()))
+	return nil
+}
+
+func writeResultJSON(path string, d *corroborate.Dataset, r *corroborate.Result) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return corroborate.WriteResultJSON(f, d, r)
+}
+
+func writeResults(path string, d *corroborate.Dataset, r *corroborate.Result) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"fact", "probability", "prediction"}); err != nil {
+		return err
+	}
+	for i := 0; i < d.NumFacts(); i++ {
+		rec := []string{
+			d.FactName(i),
+			strconv.FormatFloat(r.FactProb[i], 'f', 6, 64),
+			r.Predictions[i].String(),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,88 @@
+// Command datagen generates the repository's evaluation datasets in CSV
+// format: the paper's motivating example, the simulated NYC restaurant
+// crawl, the §6.3.1 synthetic workloads, and the simulated Hubdub snapshot.
+//
+// Usage:
+//
+//	datagen -world restaurant -out crawl.csv [-seed 2]
+//	datagen -world synth -facts 20000 -accurate 8 -inaccurate 2 -eta 0.05 -out synth.csv
+//	datagen -world hubdub -out hubdub.csv
+//	datagen -world motivating -out table1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"corroborate"
+	"corroborate/internal/hubdub"
+	"corroborate/internal/restaurant"
+	"corroborate/internal/synth"
+	"corroborate/internal/truth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	world := flag.String("world", "restaurant", "world to generate: motivating, restaurant, synth, hubdub")
+	out := flag.String("out", "", "output CSV path")
+	seed := flag.Int64("seed", 2, "RNG seed")
+	listings := flag.Int("listings", 0, "restaurant: number of listings (0 = paper's 36916)")
+	facts := flag.Int("facts", 0, "synth: number of facts (0 = paper's 20000)")
+	accurate := flag.Int("accurate", 8, "synth: accurate sources")
+	inaccurate := flag.Int("inaccurate", 2, "synth: inaccurate sources")
+	eta := flag.Float64("eta", 0, "synth: fraction of facts eligible for F votes (0 = 0.05)")
+	flag.Parse()
+
+	if *out == "" {
+		return fmt.Errorf("missing -out")
+	}
+	var d *truth.Dataset
+	switch *world {
+	case "motivating":
+		d = corroborate.MotivatingExample()
+	case "restaurant":
+		w, err := restaurant.Generate(restaurant.Config{Listings: *listings, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		d = w.Dataset
+		fmt.Printf("restaurant world: %d listings (%d open, %d closed), %d flagged, golden set of %d\n",
+			d.NumFacts(), w.Open, w.Closed, w.FlaggedListings, len(d.Golden()))
+	case "synth":
+		w, err := synth.Generate(synth.Config{
+			Facts:             *facts,
+			AccurateSources:   *accurate,
+			InaccurateSources: *inaccurate,
+			Eta:               *eta,
+			Seed:              *seed,
+		})
+		if err != nil {
+			return err
+		}
+		d = w.Dataset
+		fmt.Printf("synthetic world: %d facts (%d true, %d false), %d sources\n",
+			d.NumFacts(), w.TrueFacts, w.FalseFacts, d.NumSources())
+	case "hubdub":
+		w, err := hubdub.Generate(hubdub.Config{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		d = w.Dataset
+		fmt.Printf("hubdub world: %d answer-facts over %d questions, %d users, %d bets\n",
+			d.NumFacts(), len(w.Answers), d.NumSources(), w.Bets)
+	default:
+		return fmt.Errorf("unknown world %q (motivating, restaurant, synth, hubdub)", *world)
+	}
+	if err := corroborate.SaveCSV(*out, d); err != nil {
+		return err
+	}
+	fmt.Println("dataset written to", *out)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrates and prints them as aligned text.
+//
+// Usage:
+//
+//	experiments              # run everything (a few minutes)
+//	experiments -run table4  # one experiment
+//	experiments -quick       # shrunken worlds, seconds
+//	experiments -seed 7      # different simulated worlds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"corroborate/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("run", "", "experiment to run (empty = all): "+strings.Join(experiments.Names(), ", "))
+	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	quick := flag.Bool("quick", false, "shrink the worlds for a fast pass")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	runners := experiments.Runners()
+	if *name != "" {
+		r, ok := experiments.ByName(*name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (available: %s)", *name, strings.Join(experiments.Names(), ", "))
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		t, err := r.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.Name, err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, r.Name, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, name string, t *experiments.Table) (err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,74 @@
+package corroborate
+
+import (
+	"corroborate/internal/dedup"
+	"corroborate/internal/hubdub"
+	"corroborate/internal/restaurant"
+	"corroborate/internal/synth"
+)
+
+// Generators for the paper's three evaluation substrates, re-exported so
+// applications and examples can reproduce the experiments through the
+// public API. Every generator is deterministic for a fixed seed.
+type (
+	// RestaurantConfig parameterizes the simulated NYC restaurant crawl
+	// (§6.2 substitute); the zero value reproduces the paper's published
+	// statistics (36,916 listings, six sources, 601-listing golden set).
+	RestaurantConfig = restaurant.Config
+	// RestaurantWorld is the simulated crawl plus its latent parameters.
+	RestaurantWorld = restaurant.World
+	// SynthConfig parameterizes the §6.3.1 synthetic workloads.
+	SynthConfig = synth.Config
+	// SynthWorld is a generated synthetic dataset plus its parameters.
+	SynthWorld = synth.World
+	// HubdubConfig parameterizes the simulated Hubdub snapshot (§6.2.6).
+	HubdubConfig = hubdub.Config
+	// HubdubWorld is the simulated snapshot plus its question structure.
+	HubdubWorld = hubdub.World
+
+	// Listing is a raw crawled record for the deduplication pipeline.
+	Listing = dedup.Listing
+	// Entity is a deduplicated restaurant.
+	Entity = dedup.Entity
+	// DedupOptions configures the deduplication pipeline.
+	DedupOptions = dedup.Options
+	// CrawlConfig parameterizes the synthetic raw crawl used to exercise
+	// the deduplication pipeline.
+	CrawlConfig = dedup.CrawlConfig
+)
+
+// GenerateRestaurantWorld builds the simulated restaurant crawl.
+func GenerateRestaurantWorld(cfg RestaurantConfig) (*RestaurantWorld, error) {
+	return restaurant.Generate(cfg)
+}
+
+// GenerateSynthWorld builds a §6.3.1 synthetic workload.
+func GenerateSynthWorld(cfg SynthConfig) (*SynthWorld, error) {
+	return synth.Generate(cfg)
+}
+
+// GenerateHubdubWorld builds the simulated Hubdub snapshot.
+func GenerateHubdubWorld(cfg HubdubConfig) (*HubdubWorld, error) {
+	return hubdub.Generate(cfg)
+}
+
+// GenerateCrawl produces a synthetic raw listing crawl (with duplicates)
+// for the deduplication pipeline, returning the listings and the
+// ground-truth entity index of each listing.
+func GenerateCrawl(cfg CrawlConfig) ([]Listing, []int) {
+	return dedup.GenerateCrawl(cfg)
+}
+
+// Deduplicate runs the paper's record-linkage pipeline: address
+// normalization, per-address grouping, term/3-gram cosine similarity and
+// union-find merging.
+func Deduplicate(listings []Listing, opts DedupOptions) ([]Entity, error) {
+	return dedup.Deduplicate(listings, opts)
+}
+
+// NormalizeAddress canonicalizes an address string with the pipeline's
+// rule-based normalizer.
+func NormalizeAddress(addr string) string { return dedup.NormalizeAddress(addr) }
+
+// Similarity is the pipeline's combined term/3-gram cosine similarity.
+func Similarity(a, b string) float64 { return dedup.Similarity(a, b) }

@@ -1,0 +1,61 @@
+// Streaming: the incremental algorithm as an online service. Crawl
+// increments arrive as batches; each batch is corroborated under the trust
+// accumulated from everything seen before, and verdicts on brand-new facts
+// come purely from the carried multi-value trust — no re-processing of old
+// data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corroborate"
+)
+
+func main() {
+	stream := corroborate.NewStream()
+
+	// Day 1: the first crawl increment. MenuPages marks three of
+	// YellowPages' listings CLOSED; a block of listings is well backed.
+	day1 := []corroborate.BatchVote{
+		{Fact: "dannys grand sea palace", Source: "menupages", Vote: corroborate.Deny},
+		{Fact: "dannys grand sea palace", Source: "yellowpages", Vote: corroborate.Affirm},
+		{Fact: "the corner diner", Source: "menupages", Vote: corroborate.Deny},
+		{Fact: "the corner diner", Source: "yellowpages", Vote: corroborate.Affirm},
+		{Fact: "old harbor house", Source: "menupages", Vote: corroborate.Deny},
+		{Fact: "old harbor house", Source: "yellowpages", Vote: corroborate.Affirm},
+		{Fact: "blue olive bistro", Source: "menupages", Vote: corroborate.Affirm},
+		{Fact: "blue olive bistro", Source: "yelp", Vote: corroborate.Affirm},
+		{Fact: "lucky garden", Source: "menupages", Vote: corroborate.Affirm},
+		{Fact: "lucky garden", Source: "yelp", Vote: corroborate.Affirm},
+	}
+	report(stream, day1, "day 1 (conflicts expose the laggard)")
+
+	// Day 2: fresh listings only — no conflicts at all. The verdicts come
+	// entirely from the trust carried over from day 1.
+	day2 := []corroborate.BatchVote{
+		{Fact: "silver star grill", Source: "yellowpages", Vote: corroborate.Affirm},
+		{Fact: "village fork", Source: "yelp", Vote: corroborate.Affirm},
+		{Fact: "grand palace", Source: "yellowpages", Vote: corroborate.Affirm},
+		{Fact: "red table tavern", Source: "menupages", Vote: corroborate.Affirm},
+	}
+	report(stream, day2, "day 2 (affirmative-only; verdicts from carried trust)")
+
+	fmt.Println("final trust:")
+	for name, tr := range stream.Trust() {
+		fmt.Printf("  %-14s %.2f\n", name, tr)
+	}
+	fmt.Printf("total: %d batches, %d facts corroborated\n", stream.Batches(), len(stream.Decided()))
+}
+
+func report(stream *corroborate.Stream, batch []corroborate.BatchVote, title string) {
+	out, err := stream.AddBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", title)
+	for _, f := range out {
+		fmt.Printf("  %-26s %-5v (p=%.2f)\n", f.Name, f.Prediction, f.Probability)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,73 @@
+// Synthetic: regenerate a compact version of the paper's Figure 3 — how
+// corroboration accuracy responds to the source mix and to the supply of
+// explicit conflicts (F votes) on controlled synthetic workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corroborate"
+)
+
+func accuracyOf(m corroborate.Method, cfg corroborate.SynthConfig) float64 {
+	w, err := corroborate.GenerateSynthWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := m.Run(w.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return corroborate.Evaluate(w.Dataset, r).Accuracy
+}
+
+func main() {
+	const facts = 8000
+	methods := []corroborate.Method{
+		corroborate.IncEstScale(),
+		corroborate.TwoEstimate(),
+		corroborate.Voting(),
+	}
+
+	fmt.Println("figure 3(a): accuracy vs total sources (2 inaccurate)")
+	fmt.Println("sources  IncEstScale  TwoEstimate  Voting")
+	for total := 5; total <= 11; total += 2 {
+		fmt.Printf("%-8d", total)
+		for _, m := range methods {
+			fmt.Printf(" %-12.2f", accuracyOf(m, corroborate.SynthConfig{
+				Facts: facts, AccurateSources: total - 2, InaccurateSources: 2, Seed: 2,
+			}))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nfigure 3(b): accuracy vs inaccurate sources (10 total)")
+	fmt.Println("inacc    IncEstScale  TwoEstimate  Voting")
+	for inacc := 0; inacc <= 8; inacc += 2 {
+		fmt.Printf("%-8d", inacc)
+		for _, m := range methods {
+			fmt.Printf(" %-12.2f", accuracyOf(m, corroborate.SynthConfig{
+				Facts: facts, AccurateSources: 10 - inacc, InaccurateSources: inacc, Seed: 2,
+			}))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nfigure 3(c): accuracy vs share of facts with F votes")
+	fmt.Println("eta      IncEstScale  TwoEstimate  Voting")
+	for _, eta := range []float64{0.01, 0.03, 0.05} {
+		fmt.Printf("%-8.2f", eta)
+		for _, m := range methods {
+			fmt.Printf(" %-12.2f", accuracyOf(m, corroborate.SynthConfig{
+				Facts: facts, AccurateSources: 8, InaccurateSources: 2, Eta: eta, Seed: 2,
+			}))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsingle-trust corroboration stays at the majority-class accuracy —")
+	fmt.Println("with nothing but affirmative statements it cannot question anything;")
+	fmt.Println("the incremental multi-value trust estimator improves as accurate")
+	fmt.Println("sources are added and degrades gracefully as inaccurate ones take over.")
+}

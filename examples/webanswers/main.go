@@ -1,0 +1,131 @@
+// Webanswers: the paper's opening example as code. "What was the total
+// government revenue of Japan in 2011?" Several sources report $1.8
+// trillion; the correct $1.1 trillion is out-voted and Wikipedia itself
+// carries two conflicting numbers. Frequency-based ranking picks the wrong
+// answer; feed the same extractions through trust-aware corroboration and
+// the minority answer wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corroborate"
+)
+
+func main() {
+	extractions := []corroborate.Extraction{
+		{Source: "cia-factbook", Answer: "1.8 trillion", Rank: 0},
+		{Source: "quandl", Answer: "1.8 trillion", Rank: 0},
+		{Source: "tradingecon", Answer: "1.8 Trillion", Rank: 0},
+		{Source: "wikipedia", Answer: "1.1 trillion", Rank: 0},
+		{Source: "wikipedia", Answer: "1.97 trillion", Rank: 1},
+		{Source: "finance-ministry", Answer: "1.1 trillion", Rank: 0},
+	}
+
+	// 1. Frequency-style ranking (no trust knowledge): the majority wins.
+	c := corroborate.AnswerCorroborator{}
+	ranked, err := c.Rank(extractions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("without source trust (frequency + prominence + originality):")
+	for _, r := range ranked {
+		fmt.Printf("  %-14s score=%.3f sources=%v\n", r.Answer, r.Score, r.Sources)
+	}
+
+	// 2. Learn trust from a broader corpus of questions: iterate
+	// rank-then-reestimate (the corroboration loop of the 2011 framework).
+	// Each aggregator serves its own stale snapshot, so their errors
+	// diverge; the primary sources keep agreeing on the settled values and
+	// their trust compounds across questions.
+	queries := append([]corroborate.Query{
+		{Name: "japan-revenue-2011", Extractions: extractions},
+	}, trainingQueries()...)
+	trust := learnTrust(c, queries, 4)
+	fmt.Println("\ntrust learned by corroborating the full question corpus:")
+	for _, name := range []string{"cia-factbook", "quandl", "tradingecon", "wikipedia", "finance-ministry"} {
+		fmt.Printf("  %-18s %.2f\n", name, trust[name])
+	}
+
+	// 3. Re-rank the revenue answers under the learned trust.
+	c.Trust = trust
+	ranked, err = c.Rank(extractions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwith learned trust:")
+	for _, r := range ranked {
+		fmt.Printf("  %-14s score=%.3f sources=%v\n", r.Answer, r.Score, r.Sources)
+	}
+	if ranked[0].Answer != "1.1 trillion" {
+		log.Fatalf("expected the trusted minority answer, got %q", ranked[0].Answer)
+	}
+	fmt.Printf("\ncorroborated answer: %s — the correct value the majority out-voted\n", ranked[0].Answer)
+}
+
+// learnTrust iterates the framework's corroboration loop: rank every
+// query's answers under the current trust, count how often each source
+// backed a winning answer, smooth, and repeat until the estimates settle.
+func learnTrust(c corroborate.AnswerCorroborator, queries []corroborate.Query, iters int) map[string]float64 {
+	trust := map[string]float64{}
+	for iter := 0; iter < iters; iter++ {
+		c.Trust = trust
+		wins := map[string]float64{}
+		total := map[string]float64{}
+		for _, q := range queries {
+			ranked, err := c.Rank(q.Extractions)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(ranked) == 0 {
+				continue
+			}
+			winners := map[string]bool{}
+			for _, s := range ranked[0].Sources {
+				winners[s] = true
+			}
+			seen := map[string]bool{}
+			for _, e := range q.Extractions {
+				seen[e.Source] = true
+			}
+			for s := range seen {
+				total[s]++
+				if winners[s] {
+					wins[s]++
+				}
+			}
+		}
+		next := map[string]float64{}
+		for s, n := range total {
+			// Laplace smoothing keeps every source away from 0 and 1.
+			next[s] = (wins[s] + 1) / (n + 2)
+		}
+		trust = next
+	}
+	return trust
+}
+
+// trainingQueries is a small settled-question corpus in which the primary
+// sources (wikipedia, finance-ministry) consistently agree on the settled
+// value while each aggregator serves its own stale snapshot — their errors
+// diverge, so they never form a majority bloc and corroboration can learn
+// who to trust.
+func trainingQueries() []corroborate.Query {
+	mk := func(name, right, w1, w2, w3 string) corroborate.Query {
+		return corroborate.Query{Name: name, Extractions: []corroborate.Extraction{
+			{Source: "wikipedia", Answer: right, Rank: 0},
+			{Source: "finance-ministry", Answer: right, Rank: 0},
+			{Source: "cia-factbook", Answer: w1, Rank: 0},
+			{Source: "quandl", Answer: w2, Rank: 0},
+			{Source: "tradingecon", Answer: w3, Rank: 0},
+		}}
+	}
+	return []corroborate.Query{
+		mk("japan-debt-2011", "230 percent of gdp", "180 percent of gdp", "205 percent of gdp", "195 percent of gdp"),
+		mk("japan-budget-2011", "92 trillion yen", "83 trillion yen", "88 trillion yen", "95 trillion yen"),
+		mk("japan-deficit-2011", "10 percent of gdp", "8 percent of gdp", "7 percent of gdp", "12 percent of gdp"),
+		mk("japan-tax-revenue-2011", "42 trillion yen", "39 trillion yen", "45 trillion yen", "37 trillion yen"),
+		mk("japan-bond-issuance-2011", "44 trillion yen", "41 trillion yen", "47 trillion yen", "49 trillion yen"),
+	}
+}

@@ -1,0 +1,88 @@
+package corroborate_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"corroborate"
+)
+
+func TestStreamPublicAPI(t *testing.T) {
+	st := corroborate.NewStream()
+	out, err := st.AddBatch([]corroborate.BatchVote{
+		{Fact: "a", Source: "s1", Vote: corroborate.Affirm},
+		{Fact: "b", Source: "s1", Vote: corroborate.Deny},
+		{Fact: "b", Source: "s2", Vote: corroborate.Affirm},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decided %d facts", len(out))
+	}
+	if st.Batches() != 1 {
+		t.Errorf("Batches = %d", st.Batches())
+	}
+}
+
+func TestDependVotingPublicAPI(t *testing.T) {
+	d := corroborate.MotivatingExample()
+	m := corroborate.DependVoting()
+	r, err := m.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(d); err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := corroborate.SourceDependence(d, r, corroborate.DependenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matrix) != d.NumSources() {
+		t.Fatalf("matrix size %d", len(matrix))
+	}
+}
+
+func TestJSONPublicAPI(t *testing.T) {
+	d := corroborate.MotivatingExample()
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := corroborate.SaveJSON(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := corroborate.LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVotes() != d.NumVotes() {
+		t.Error("JSON round trip changed the dataset")
+	}
+	r, _ := corroborate.Voting().Run(d)
+	var buf bytes.Buffer
+	if err := corroborate.WriteResultJSON(&buf, d, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"method": "Voting"`) {
+		t.Error("result JSON missing method")
+	}
+}
+
+func TestBootstrapAndSignificancePublicAPI(t *testing.T) {
+	d := corroborate.MotivatingExample()
+	a, _ := corroborate.IncEstHeu().Run(d)
+	b, _ := corroborate.TwoEstimate().Run(d)
+	iv, err := corroborate.BootstrapAccuracy(d, a, 200, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := corroborate.Evaluate(d, a)
+	if !iv.Contains(rep.Accuracy) {
+		t.Errorf("interval %v should contain %v", iv, rep.Accuracy)
+	}
+	p := corroborate.SignificanceTest(d, a, b, 500, 1)
+	if p <= 0 || p > 1 {
+		t.Errorf("p-value = %v out of (0, 1]", p)
+	}
+}

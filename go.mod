@@ -1,0 +1,3 @@
+module corroborate
+
+go 1.22

@@ -1,0 +1,267 @@
+// Package answers implements the web-answer corroboration framework of the
+// paper's predecessor system (Wu & Marian, "A framework for corroborating
+// answers from multiple web sources", Information Systems 2011 — reference
+// [18], whose restaurant study seeded the EDBT 2014 paper): given answer
+// strings extracted from several sources for one query, cluster equivalent
+// answers, and score each cluster by the number, trustworthiness,
+// originality and within-source prominence of its supporting extractions.
+//
+// The package composes with the rest of the repository: cluster equivalence
+// reuses the record-linkage similarity of internal/dedup, per-source trust
+// can come from any corroboration method, and ToDataset bridges a set of
+// queries into the boolean-fact model so the paper's algorithms can
+// re-score candidate answers.
+package answers
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"corroborate/internal/dedup"
+	"corroborate/internal/truth"
+)
+
+// Extraction is one answer occurrence harvested from one source.
+type Extraction struct {
+	// Source is the page or site the answer came from.
+	Source string
+	// Answer is the extracted answer text.
+	Answer string
+	// Rank is the answer's prominence within the source: 0 for the
+	// source's top answer, 1 for the next, and so on.
+	Rank int
+}
+
+// RankedAnswer is one corroborated answer cluster.
+type RankedAnswer struct {
+	// Answer is the cluster's representative (the most frequent raw form,
+	// ties to the lexicographically smaller).
+	Answer string
+	// Score is the corroboration score in [0, 1).
+	Score float64
+	// Sources lists the distinct supporting sources, sorted.
+	Sources []string
+	// Count is the number of supporting extractions.
+	Count int
+}
+
+// Corroborator scores answer clusters. The zero value uses the framework's
+// defaults: all sources equally trusted at 0.8, prominence decay 0.7, and
+// answer-equivalence threshold 0.8 (the same threshold the paper's
+// deduplication pipeline uses).
+type Corroborator struct {
+	// Trust maps a source to its trustworthiness in (0, 1]; missing
+	// sources get DefaultTrust.
+	Trust map[string]float64
+	// DefaultTrust is used for sources absent from Trust; 0 means 0.8.
+	DefaultTrust float64
+	// ProminenceDecay γ discounts an extraction by γ^rank — answers
+	// buried deep in a source count less; 0 means 0.7.
+	ProminenceDecay float64
+	// Threshold is the similarity at which two answer strings are
+	// considered the same answer; 0 means 0.8.
+	Threshold float64
+}
+
+func (c Corroborator) defaults() (Corroborator, error) {
+	if c.DefaultTrust == 0 {
+		c.DefaultTrust = 0.8
+	}
+	if c.ProminenceDecay == 0 {
+		c.ProminenceDecay = 0.7
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.8
+	}
+	if c.DefaultTrust <= 0 || c.DefaultTrust > 1 {
+		return c, fmt.Errorf("answers: default trust %v out of (0, 1]", c.DefaultTrust)
+	}
+	if c.ProminenceDecay <= 0 || c.ProminenceDecay > 1 {
+		return c, fmt.Errorf("answers: prominence decay %v out of (0, 1]", c.ProminenceDecay)
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return c, fmt.Errorf("answers: threshold %v out of (0, 1]", c.Threshold)
+	}
+	return c, nil
+}
+
+func (c Corroborator) trustOf(source string) float64 {
+	if t, ok := c.Trust[source]; ok && t > 0 {
+		return t
+	}
+	return c.DefaultTrust
+}
+
+// cluster groups extractions whose answers are equivalent: numerically
+// when both parse as scaled numbers (so "1.8 trillion" meets "$1,800
+// billion"), by normalized-string similarity otherwise (union-find over
+// pairwise equivalence, like the dedup pipeline).
+func (c Corroborator) cluster(extractions []Extraction) [][]int {
+	norm := make([]string, len(extractions))
+	nums := make([]parsedNumber, len(extractions))
+	isNum := make([]bool, len(extractions))
+	for i, e := range extractions {
+		norm[i] = dedup.NormalizeAddress(e.Answer) // same canonicalization rules
+		nums[i], isNum[i] = parseNumeric(e.Answer)
+	}
+	parent := make([]int, len(extractions))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < len(extractions); i++ {
+		for j := i + 1; j < len(extractions); j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			var same bool
+			switch {
+			case isNum[i] && isNum[j]:
+				same = sameNumber(nums[i], nums[j])
+			case isNum[i] != isNum[j]:
+				same = false // a number never merges with prose
+			default:
+				same = norm[i] == norm[j] || dedup.Similarity(norm[i], norm[j]) >= c.Threshold
+			}
+			if same {
+				parent[find(j)] = find(i)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range extractions {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Rank clusters the extractions and returns the answers in decreasing
+// corroboration score. The score aggregates, per distinct source, the
+// source's best (most prominent) extraction for the cluster, weighted by
+// trust and prominence, with diminishing returns across sources:
+//
+//	score = 1 - Π_sources (1 - trust(s)·γ^bestRank(s))
+//
+// so each additional independent source increases confidence but never
+// past 1 — the framework's originality principle (ten extractions from one
+// source are worth one extraction).
+func (c Corroborator) Rank(extractions []Extraction) ([]RankedAnswer, error) {
+	c, err := c.defaults()
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range extractions {
+		if e.Answer == "" {
+			return nil, fmt.Errorf("answers: extraction %d has an empty answer", i)
+		}
+		if e.Source == "" {
+			return nil, fmt.Errorf("answers: extraction %d has an empty source", i)
+		}
+		if e.Rank < 0 {
+			return nil, fmt.Errorf("answers: extraction %d has negative rank", i)
+		}
+	}
+	var out []RankedAnswer
+	for _, members := range c.cluster(extractions) {
+		bestRank := make(map[string]int)
+		rawCount := make(map[string]int)
+		for _, i := range members {
+			e := extractions[i]
+			if r, ok := bestRank[e.Source]; !ok || e.Rank < r {
+				bestRank[e.Source] = e.Rank
+			}
+			rawCount[e.Answer]++
+		}
+		miss := 1.0
+		sources := make([]string, 0, len(bestRank))
+		for src, rank := range bestRank {
+			miss *= 1 - c.trustOf(src)*math.Pow(c.ProminenceDecay, float64(rank))
+			sources = append(sources, src)
+		}
+		sort.Strings(sources)
+		rep, repCount := "", 0
+		for raw, n := range rawCount {
+			if n > repCount || (n == repCount && raw < rep) {
+				rep, repCount = raw, n
+			}
+		}
+		out = append(out, RankedAnswer{
+			Answer:  rep,
+			Score:   1 - miss,
+			Sources: sources,
+			Count:   len(members),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Answer < out[j].Answer
+	})
+	return out, nil
+}
+
+// Query is a named set of extractions, for the dataset bridge.
+type Query struct {
+	Name        string
+	Extractions []Extraction
+}
+
+// ToDataset converts a batch of queries into the boolean-fact model: each
+// answer cluster becomes a fact named "<query>=<answer>", each source
+// affirms the clusters it supports and denies the query's other clusters
+// (multi-valued questions encode mutual exclusion as implicit denial, as in
+// the Hubdub evaluation). The resulting dataset can be fed to any
+// corroboration method to re-score answers with learned source trust.
+func (c Corroborator) ToDataset(queries []Query) (*truth.Dataset, error) {
+	cc, err := c.defaults()
+	if err != nil {
+		return nil, err
+	}
+	b := truth.NewBuilder()
+	for qi, q := range queries {
+		if q.Name == "" {
+			return nil, fmt.Errorf("answers: query %d has no name", qi)
+		}
+		clusters := cc.cluster(q.Extractions)
+		// Representative per cluster for stable fact names.
+		factOf := make([]int, len(clusters))
+		supporters := make([]map[string]bool, len(clusters))
+		for ci, members := range clusters {
+			rep := q.Extractions[members[0]].Answer
+			factOf[ci] = b.Fact(q.Name + "=" + rep)
+			supporters[ci] = make(map[string]bool)
+			for _, i := range members {
+				supporters[ci][q.Extractions[i].Source] = true
+			}
+		}
+		// Every source seen in the query votes on every cluster.
+		for ci := range clusters {
+			for src := range supporters[ci] {
+				s := b.Source(src)
+				for cj := range clusters {
+					if supporters[cj][src] {
+						b.Vote(factOf[cj], s, truth.Affirm)
+					} else {
+						b.Vote(factOf[cj], s, truth.Deny)
+					}
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,192 @@
+package answers
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Numeric answer handling: "1.8 trillion", "$1,800 billion" and "1.8e12"
+// all denote the same magnitude, but string similarity cannot see that. The
+// clustering therefore first tries to read each answer as a scaled number;
+// answers that parse are compared numerically (relative tolerance), and
+// only the rest fall back to textual similarity.
+
+// scaleWords maps magnitude words and suffixes to multipliers.
+var scaleWords = map[string]float64{
+	"trillion": 1e12,
+	"t":        1e12,
+	"tn":       1e12,
+	"billion":  1e9,
+	"b":        1e9,
+	"bn":       1e9,
+	"million":  1e6,
+	"m":        1e6,
+	"mm":       1e6,
+	"thousand": 1e3,
+	"k":        1e3,
+	"percent":  1, // unit-ish words that do not scale
+	"%":        1,
+}
+
+// unitWords are trailing tokens that carry units rather than magnitude;
+// they are recorded so "92 trillion yen" and "92 trillion dollars" do NOT
+// merge.
+var unitWords = map[string]bool{
+	"yen": true, "dollars": true, "dollar": true, "usd": true, "eur": true,
+	"euro": true, "euros": true, "pounds": true, "gbp": true, "percent": true,
+	"%": true, "gdp": true, "people": true, "items": true,
+}
+
+// parsedNumber is a numeric reading of an answer string.
+type parsedNumber struct {
+	value float64
+	unit  string // normalized trailing unit ("" if none)
+}
+
+// parseNumeric tries to read an answer as a number with optional magnitude
+// word and unit. It accepts currency prefixes ($, €, £), thousands
+// separators, and suffix forms ("1.8T"). Returns ok=false when the answer
+// is not predominantly numeric.
+func parseNumeric(answer string) (parsedNumber, bool) {
+	fields := strings.Fields(strings.ToLower(answer))
+	if len(fields) == 0 {
+		return parsedNumber{}, false
+	}
+	var (
+		value    float64
+		haveNum  bool
+		scale    = 1.0
+		unit     string
+		consumed int
+	)
+	for _, tok := range fields {
+		tok = strings.Trim(tok, ",;")
+		if tok == "" {
+			consumed++
+			continue
+		}
+		// Strip currency prefixes.
+		for len(tok) > 0 {
+			r := rune(tok[0])
+			if r == '$' || r == '~' || strings.HasPrefix(tok, "€") || strings.HasPrefix(tok, "£") {
+				if r == '$' || r == '~' {
+					tok = tok[1:]
+				} else {
+					_, sz := firstRune(tok)
+					tok = tok[sz:]
+				}
+				continue
+			}
+			break
+		}
+		if !haveNum {
+			// Try "1.8t"-style suffix.
+			numPart := tok
+			suffix := ""
+			for i := len(tok); i > 0; i-- {
+				if isNumeric(tok[:i]) {
+					numPart, suffix = tok[:i], tok[i:]
+					break
+				}
+			}
+			if isNumeric(numPart) {
+				v, err := strconv.ParseFloat(strings.ReplaceAll(numPart, ",", ""), 64)
+				if err == nil {
+					value = v
+					haveNum = true
+					consumed++
+					if suffix != "" {
+						if s, ok := scaleWords[suffix]; ok {
+							scale = s
+						} else if unitWords[suffix] {
+							unit = suffix
+						} else {
+							return parsedNumber{}, false
+						}
+					}
+					continue
+				}
+			}
+			// A leading non-numeric token disqualifies the answer.
+			return parsedNumber{}, false
+		}
+		if s, ok := scaleWords[tok]; ok {
+			scale *= s
+			consumed++
+			continue
+		}
+		if unitWords[tok] {
+			unit = tok
+			consumed++
+			continue
+		}
+		// Tolerate "of" in "percent of gdp".
+		if tok == "of" {
+			consumed++
+			continue
+		}
+		return parsedNumber{}, false
+	}
+	if !haveNum || consumed < len(fields)/2 {
+		return parsedNumber{}, false
+	}
+	// Canonicalize currency-ish units.
+	switch unit {
+	case "dollar", "usd":
+		unit = "dollars"
+	case "euro", "euros":
+		unit = "eur"
+	}
+	return parsedNumber{value: value * scale, unit: unit}, haveNum
+}
+
+func firstRune(s string) (rune, int) {
+	for _, r := range s {
+		return r, len(string(r))
+	}
+	return 0, 0
+}
+
+// isNumeric reports whether s is a decimal number (with optional thousands
+// separators and sign).
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	digits := 0
+	for i, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case r == '.' && !dot:
+			dot = true
+		case r == ',':
+		case (r == '-' || r == '+') && i == 0:
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// sameNumber reports whether two parsed numbers denote the same quantity:
+// same unit (or one unspecified) and values within a 0.5% relative
+// tolerance.
+func sameNumber(a, b parsedNumber) bool {
+	if a.unit != "" && b.unit != "" && a.unit != b.unit {
+		return false
+	}
+	hi, lo := a.value, b.value
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if hi == lo {
+		return true
+	}
+	if hi == 0 || lo == 0 {
+		return false
+	}
+	return (hi-lo)/hi <= 0.005
+}

@@ -1,0 +1,97 @@
+package answers
+
+import "testing"
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in    string
+		value float64
+		unit  string
+		ok    bool
+	}{
+		{"1.8 trillion", 1.8e12, "", true},
+		{"$1,800 billion", 1.8e12, "", true},
+		{"1.8T", 1.8e12, "", true},
+		{"92 trillion yen", 92e12, "yen", true},
+		{"10 percent of gdp", 10, "gdp", true},
+		{"230", 230, "", true},
+		{"-4.5 million", -4.5e6, "", true},
+		{"canberra", 0, "", false},
+		{"about 1.8 trillion", 0, "", false}, // leading prose disqualifies
+		{"", 0, "", false},
+	}
+	for _, c := range cases {
+		got, ok := parseNumeric(c.in)
+		if ok != c.ok {
+			t.Errorf("parseNumeric(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if got.value != c.value || got.unit != c.unit {
+			t.Errorf("parseNumeric(%q) = %+v, want value %v unit %q", c.in, got, c.value, c.unit)
+		}
+	}
+}
+
+func TestSameNumber(t *testing.T) {
+	a, _ := parseNumeric("1.8 trillion")
+	b, _ := parseNumeric("$1,800 billion")
+	if !sameNumber(a, b) {
+		t.Error("1.8 trillion must equal 1800 billion")
+	}
+	c, _ := parseNumeric("1.81 trillion")
+	if sameNumber(a, c) {
+		t.Error("0.55% apart must not merge at 0.5% tolerance")
+	}
+	yen, _ := parseNumeric("92 trillion yen")
+	usd, _ := parseNumeric("92 trillion dollars")
+	if sameNumber(yen, usd) {
+		t.Error("different units must not merge")
+	}
+}
+
+func TestClusterMergesNumericVariants(t *testing.T) {
+	ranked, err := Corroborator{}.Rank([]Extraction{
+		{Source: "a", Answer: "1.8 trillion", Rank: 0},
+		{Source: "b", Answer: "$1,800 billion", Rank: 0},
+		{Source: "c", Answer: "1.8T", Rank: 0},
+		{Source: "d", Answer: "1.1 trillion", Rank: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("clusters = %d, want 2: %+v", len(ranked), ranked)
+	}
+	if len(ranked[0].Sources) != 3 {
+		t.Errorf("top cluster sources = %v, want the three 1.8e12 spellings", ranked[0].Sources)
+	}
+}
+
+func TestNumbersNeverMergeWithProse(t *testing.T) {
+	ranked, err := Corroborator{}.Rank([]Extraction{
+		{Source: "a", Answer: "230", Rank: 0},
+		{Source: "b", Answer: "230 main street", Rank: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("a bare number must not merge with prose: %+v", ranked)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"1", "1.5", "1,800", "-3", "+2.5"} {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"", ".", "-", "1.2.3", "12a", "a12"} {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package audit plans in-person verification campaigns, turning the
+// paper's entropy machinery into an operational tool. The paper's authors
+// walked three zip codes to label 601 of 36,916 listings; given a
+// corroboration result and a budget of k checks, Plan selects the facts
+// whose verification buys the most information: uncertain facts first
+// (maximum entropy), weighted by how many same-signature facts each check
+// indirectly informs, with per-signature diminishing returns (checking the
+// tenth member of one fact group teaches almost nothing new).
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"corroborate/internal/entropy"
+	"corroborate/internal/truth"
+)
+
+// Item is one planned check.
+type Item struct {
+	// Fact is the dataset fact index to verify.
+	Fact int
+	// Gain is the expected information gain that ranked it.
+	Gain float64
+	// GroupSize is the number of facts sharing the fact's vote signature.
+	GroupSize int
+}
+
+// Options tunes the planner.
+type Options struct {
+	// Dampening δ shrinks the marginal gain of repeated checks within one
+	// signature group by δ^(checks so far); 0 means 0.5.
+	Dampening float64
+	// SkipLabeled excludes facts that already have ground-truth labels
+	// (they need no audit). Default false: the planner considers every
+	// fact.
+	SkipLabeled bool
+}
+
+// Plan returns up to k checks in decreasing expected information gain.
+// The base gain of checking fact f is H(σ(f))·|group(f)|: verifying one
+// member of a vote-signature group informs the corroboration of every
+// member (they are indistinguishable to the algorithms), and uncertain
+// facts carry the most entropy. Repeated picks within one group are
+// dampened geometrically.
+func Plan(d *truth.Dataset, r *truth.Result, k int, opts Options) ([]Item, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("audit: negative budget %d", k)
+	}
+	if len(r.FactProb) != d.NumFacts() {
+		return nil, fmt.Errorf("audit: result shaped for %d facts, dataset has %d", len(r.FactProb), d.NumFacts())
+	}
+	damp := opts.Dampening
+	if damp == 0 {
+		damp = 0.5
+	}
+	if damp <= 0 || damp > 1 {
+		return nil, fmt.Errorf("audit: dampening %v out of (0, 1]", damp)
+	}
+
+	// Group facts by signature.
+	bySig := make(map[string][]int)
+	for f := 0; f < d.NumFacts(); f++ {
+		if opts.SkipLabeled && d.Label(f) != truth.Unknown {
+			continue
+		}
+		bySig[d.Signature(f)] = append(bySig[d.Signature(f)], f)
+	}
+
+	type candidate struct {
+		fact int
+		sig  string
+		base float64
+		size int
+	}
+	var cands []candidate
+	for sig, facts := range bySig {
+		size := len(facts)
+		for _, f := range facts {
+			cands = append(cands, candidate{
+				fact: f,
+				sig:  sig,
+				base: entropy.H(r.FactProb[f]) * float64(size),
+				size: size,
+			})
+		}
+	}
+	// Deterministic order: by base gain, then fact index. Within a group
+	// all bases are equal, so group members come out in index order.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].base != cands[j].base {
+			return cands[i].base > cands[j].base
+		}
+		return cands[i].fact < cands[j].fact
+	})
+
+	if k > len(cands) {
+		k = len(cands)
+	}
+	picked := make([]Item, 0, k)
+	used := make(map[string]int)
+	// Greedy with lazy dampening: because dampening is geometric and
+	// uniform, re-scoring is a simple multiply; we iterate passes until
+	// the budget is filled, each pass taking the best remaining candidate
+	// under current dampening.
+	taken := make([]bool, len(cands))
+	for len(picked) < k {
+		bestIdx, bestGain := -1, -1.0
+		for i, c := range cands {
+			if taken[i] {
+				continue
+			}
+			gain := c.base * pow(damp, used[c.sig])
+			if gain > bestGain || (gain == bestGain && bestIdx >= 0 && c.fact < cands[bestIdx].fact) {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		taken[bestIdx] = true
+		used[cands[bestIdx].sig]++
+		picked = append(picked, Item{
+			Fact:      cands[bestIdx].fact,
+			Gain:      bestGain,
+			GroupSize: cands[bestIdx].size,
+		})
+	}
+	return picked, nil
+}
+
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}

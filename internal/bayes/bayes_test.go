@@ -1,0 +1,112 @@
+package bayes
+
+import (
+	"testing"
+
+	"corroborate/internal/metrics"
+	"corroborate/internal/truth"
+)
+
+func TestBayesMotivating(t *testing.T) {
+	// §2.2: BayesEstimate labels every restaurant true on Table 1 because
+	// its high-precision low-recall prior gives F votes little weight;
+	// precision 0.58, recall 1.
+	d := truth.MotivatingExample()
+	r, err := (&Estimate{Seed: 1}).Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(d); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < d.NumFacts(); f++ {
+		if r.Predictions[f] != truth.True {
+			t.Errorf("BayesEstimate(%s) = %v, want true (paper §2.2)", d.FactName(f), r.Predictions[f])
+		}
+	}
+	rep := metrics.Evaluate(d, r)
+	if rep.Recall != 1 {
+		t.Errorf("recall = %v, want 1", rep.Recall)
+	}
+	if rep.Precision < 0.57 || rep.Precision > 0.60 {
+		t.Errorf("precision = %v, want 7/12 = 0.58", rep.Precision)
+	}
+	// Table 5: trust scores near 1 for every source.
+	for s, tr := range r.Trust {
+		if tr < 0.8 {
+			t.Errorf("trust[s%d] = %v, want near 1 (Table 5)", s+1, tr)
+		}
+	}
+}
+
+func TestBayesDeterministicForSeed(t *testing.T) {
+	d := truth.MotivatingExample()
+	a, _ := (&Estimate{Seed: 7}).Run(d)
+	b, _ := (&Estimate{Seed: 7}).Run(d)
+	for f := range a.FactProb {
+		if a.FactProb[f] != b.FactProb[f] {
+			t.Fatal("same seed must reproduce identical probabilities")
+		}
+	}
+}
+
+func TestBayesRespondsToPriors(t *testing.T) {
+	// With a symmetric (uninformative) false-positive prior, heavily
+	// denied facts should no longer be rescued by the low-FP assumption.
+	b := truth.NewBuilder()
+	b.AddSources("a", "b", "c")
+	// Background: 20 facts affirmed by everyone.
+	for i := 0; i < 20; i++ {
+		f := b.Fact("bg" + string(rune('a'+i)))
+		for s := 0; s < 3; s++ {
+			b.Vote(f, s, truth.Affirm)
+		}
+	}
+	contested := b.Fact("contested")
+	b.Vote(contested, 0, truth.Deny)
+	b.Vote(contested, 1, truth.Deny)
+	b.Vote(contested, 2, truth.Affirm)
+	d := b.Build()
+
+	// Weaken the priors: a mildly informative FP prior (≈0.1, a hundredth
+	// of the paper's pseudo-count mass) and a high-sensitivity prior make
+	// F votes discriminative. Fully flat priors would not work: the model
+	// then has a label-switching symmetry (all-true and all-false explain
+	// the data equally well) and the sampler averages to 0.5 everywhere.
+	weak := &Estimate{Alpha0True: 1, Alpha0False: 9, Alpha1True: 8, Alpha1False: 2, Seed: 3}
+	r, err := weak.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Predictions[contested] != truth.False {
+		t.Errorf("with flat FP prior, a 2-F/1-T fact should be false (p=%v)", r.FactProb[contested])
+	}
+}
+
+func TestBayesInvalidConfig(t *testing.T) {
+	d := truth.MotivatingExample()
+	if _, err := (&Estimate{Alpha0True: -1, Alpha0False: 5}).Run(d); err == nil {
+		t.Error("negative prior must be rejected")
+	}
+	if _, err := (&Estimate{Samples: -3}).Run(d); err == nil {
+		t.Error("negative sample count must be rejected")
+	}
+}
+
+func TestBayesEmptyAndVoteless(t *testing.T) {
+	empty := truth.NewBuilder().Build()
+	if _, err := (&Estimate{}).Run(empty); err != nil {
+		t.Fatalf("empty dataset: %v", err)
+	}
+	b := truth.NewBuilder()
+	b.AddSources("s")
+	b.Fact("orphan")
+	d := b.Build()
+	r, err := (&Estimate{Seed: 2}).Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FactProb[0] != 0.5 {
+		t.Errorf("voteless fact probability = %v, want 0.5", r.FactProb[0])
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+// benchWorld builds a mid-sized affirmative-regime dataset with a handful
+// of conflicted groups, shaped like the paper's restaurant scenario.
+func benchWorld(facts int) *truth.Dataset {
+	b := truth.NewBuilder()
+	const sources = 6
+	for s := 0; s < sources; s++ {
+		b.Source(fmt.Sprintf("s%d", s))
+	}
+	for f := 0; f < facts; f++ {
+		fi := b.Fact(fmt.Sprintf("f%06d", f))
+		switch f % 20 {
+		case 0: // conflicted
+			b.Vote(fi, 2, truth.Deny)
+			b.Vote(fi, 0, truth.Affirm)
+		case 1, 2: // laggard-only
+			b.Vote(fi, 0, truth.Affirm)
+			b.Vote(fi, 4, truth.Affirm)
+		default: // well backed
+			b.Vote(fi, 1+(f%3), truth.Affirm)
+			b.Vote(fi, 5, truth.Affirm)
+			if f%2 == 0 {
+				b.Vote(fi, 0, truth.Affirm)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkBuildGroups(b *testing.B) {
+	d := benchWorld(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = buildGroups(d)
+	}
+}
+
+func BenchmarkIncEstimate(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		d := benchWorld(n)
+		for _, e := range []*IncEstimate{NewHeu(), NewPS(), NewScale()} {
+			e := e
+			b.Run(fmt.Sprintf("%s/%d", e.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Run(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkStream(b *testing.B) {
+	// One 500-vote batch per iteration on a fresh stream.
+	votes := make([]BatchVote, 0, 500)
+	for i := 0; i < 250; i++ {
+		votes = append(votes,
+			BatchVote{Fact: fmt.Sprintf("f%d", i), Source: "a", Vote: truth.Affirm},
+			BatchVote{Fact: fmt.Sprintf("f%d", i), Source: fmt.Sprintf("s%d", i%5), Vote: truth.Affirm},
+		)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := NewStream()
+		if _, err := st.AddBatch(votes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

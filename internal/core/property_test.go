@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"corroborate/internal/truth"
+)
+
+// randomDataset builds a deterministic pseudo-random labeled dataset from a
+// seed, with a vote mix tilted toward the paper's affirmative regime.
+func randomDataset(seed uint64, sources, facts int) *truth.Dataset {
+	state := seed*2862933555777941757 + 3037000493
+	next := func(n uint64) uint64 {
+		state = state*2862933555777941757 + 3037000493
+		return (state >> 33) % n
+	}
+	b := truth.NewBuilder()
+	for s := 0; s < sources; s++ {
+		b.Source("s" + string(rune('A'+s%26)))
+	}
+	for f := 0; f < facts; f++ {
+		name := make([]byte, 0, 8)
+		name = append(name, 'f')
+		for v := f; ; v /= 10 {
+			name = append(name, byte('0'+v%10))
+			if v < 10 {
+				break
+			}
+		}
+		fi := b.Fact(string(name))
+		for s := 0; s < sources; s++ {
+			switch next(10) {
+			case 0, 1, 2, 3:
+				b.Vote(fi, s, truth.Affirm)
+			case 4:
+				if next(5) == 0 { // F votes are rare
+					b.Vote(fi, s, truth.Deny)
+				}
+			}
+		}
+		if next(2) == 0 {
+			b.Label(fi, truth.True)
+		} else {
+			b.Label(fi, truth.False)
+		}
+	}
+	return b.Build()
+}
+
+// TestIncEstimateInvariantsOnRandomWorlds: on arbitrary vote matrices,
+// every strategy must terminate, produce in-range probabilities, decide
+// each fact exactly once, and keep trust inside [0, 1] at every time point.
+func TestIncEstimateInvariantsOnRandomWorlds(t *testing.T) {
+	strategies := []*IncEstimate{NewHeu(), NewPS(), NewScale(),
+		{Strategy: SelectHybrid}, {SoftAbsorb: true}, {AnchoredTrust: true}}
+	prop := func(seed uint64, nsRaw, nfRaw uint8) bool {
+		sources := 1 + int(nsRaw%7)
+		facts := 1 + int(nfRaw%60)
+		d := randomDataset(seed, sources, facts)
+		for _, e := range strategies {
+			run, err := e.RunDetailed(d)
+			if err != nil {
+				t.Logf("seed=%d %s: %v", seed, e.Name(), err)
+				return false
+			}
+			if err := run.Result.Check(d); err != nil {
+				t.Logf("seed=%d %s: %v", seed, e.Name(), err)
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, tp := range run.Trajectory {
+				if len(tp.Trust) != d.NumSources() {
+					return false
+				}
+				for _, tr := range tp.Trust {
+					if tr < 0 || tr > 1 || tr != tr {
+						return false
+					}
+				}
+				for _, f := range tp.Evaluated {
+					if seen[f] {
+						return false
+					}
+					seen[f] = true
+				}
+			}
+			if len(seen) != d.NumFacts() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamEquivalenceSingleBatch: feeding a whole dataset as one stream
+// batch must decide every fact exactly once with valid probabilities.
+func TestStreamInvariantsOnRandomWorlds(t *testing.T) {
+	prop := func(seed uint64, nfRaw uint8) bool {
+		facts := 1 + int(nfRaw%40)
+		d := randomDataset(seed, 4, facts)
+		var votes []BatchVote
+		for f := 0; f < d.NumFacts(); f++ {
+			for _, sv := range d.VotesOnFact(f) {
+				votes = append(votes, BatchVote{
+					Fact:   d.FactName(f),
+					Source: d.SourceName(sv.Source),
+					Vote:   sv.Vote,
+				})
+			}
+		}
+		if len(votes) == 0 {
+			return true
+		}
+		st := NewStream()
+		out, err := st.AddBatch(votes)
+		if err != nil {
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, sf := range out {
+			if sf.Probability < 0 || sf.Probability > 1 {
+				return false
+			}
+			if seen[sf.Name] {
+				return false
+			}
+			seen[sf.Name] = true
+		}
+		for name, tr := range st.Trust() {
+			if tr < 0 || tr > 1 {
+				t.Logf("trust(%s) = %v", name, tr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"corroborate/internal/score"
+	"corroborate/internal/truth"
+)
+
+// Stream is the online form of the incremental algorithm: votes arrive in
+// batches (e.g. one crawl increment at a time), each batch is corroborated
+// under the trust state accumulated from every previous batch, and the
+// multi-value trust carries across batches. This is the natural production
+// deployment of Definition 1 — the paper's algorithm already evaluates
+// facts at distinct time points with the trust current at that point, so
+// the only extension here is letting the caller, rather than the selector,
+// define the batches' content while the selector still orders work inside
+// each batch.
+//
+// A Stream is not safe for concurrent use.
+type Stream struct {
+	// Config is applied to every batch; the zero value is the scale
+	// profile, which suits open-ended streams.
+	Config IncEstimate
+
+	sources  map[string]int
+	names    []string
+	state    *trustState
+	initDone bool
+
+	// decided accumulates every fact this stream has corroborated.
+	decided []StreamFact
+}
+
+// StreamFact is one corroborated fact of a stream.
+type StreamFact struct {
+	// Name is the caller's fact identifier.
+	Name string
+	// Batch is the index of the batch that carried the fact.
+	Batch int
+	// Probability is the corroborated probability at evaluation time.
+	Probability float64
+	// Prediction is the Eq. 2 decision.
+	Prediction truth.Label
+}
+
+// BatchVote is one vote of an incoming batch.
+type BatchVote struct {
+	Fact   string
+	Source string
+	Vote   truth.Vote
+}
+
+// NewStream returns an empty stream using the scale profile.
+func NewStream() *Stream {
+	return &Stream{Config: *NewScale(), sources: make(map[string]int)}
+}
+
+// Trust returns the current trust of every source seen so far, keyed by
+// source name.
+func (st *Stream) Trust() map[string]float64 {
+	out := make(map[string]float64, len(st.names))
+	for i, n := range st.names {
+		out[n] = st.state.trust(i)
+	}
+	return out
+}
+
+// Decided returns every fact corroborated so far, in evaluation order. The
+// returned slice is shared; callers must not modify it.
+func (st *Stream) Decided() []StreamFact { return st.decided }
+
+// Batches returns how many batches have been processed.
+func (st *Stream) Batches() int {
+	if len(st.decided) == 0 {
+		return 0
+	}
+	return st.decided[len(st.decided)-1].Batch + 1
+}
+
+// AddBatch corroborates one batch of votes under the trust accumulated
+// from all earlier batches and folds the outcomes back in. Facts are
+// grouped by vote signature and evaluated negative-side-first inside the
+// batch, like one macro time point of the incremental algorithm. It
+// returns the batch's corroborated facts in evaluation order.
+func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	// Build a dataset for the batch with globally interned sources.
+	b := truth.NewBuilder()
+	for _, n := range st.names {
+		b.Source(n)
+	}
+	for _, v := range votes {
+		if !v.Vote.Valid() || v.Vote == truth.Absent {
+			return nil, fmt.Errorf("core: batch vote on %q has invalid vote", v.Fact)
+		}
+		idx, ok := st.sources[v.Source]
+		if !ok {
+			idx = b.Source(v.Source)
+			st.sources[v.Source] = idx
+			st.names = append(st.names, v.Source)
+		}
+		b.Vote(b.Fact(v.Fact), idx, v.Vote)
+	}
+	d := b.Build()
+
+	init := st.Config.InitialTrust
+	if init == 0 {
+		init = 0.9
+	}
+	if !st.initDone {
+		st.state = newTrustState(0, init)
+		st.initDone = true
+	}
+	// Grow the trust state for newly seen sources.
+	for len(st.state.credit) < len(st.names) {
+		st.state.credit = append(st.state.credit, 0)
+		st.state.count = append(st.state.count, 0)
+	}
+
+	groups := buildGroups(d)
+	trust := st.state.vector()
+	// Order: confident negatives first, then positives by size — one
+	// macro time point of the scale profile over the batch's groups.
+	sort.Slice(groups, func(i, j int) bool {
+		pi, pj := groups[i].prob(trust), groups[j].prob(trust)
+		ni, nj := pi <= truth.Threshold, pj <= truth.Threshold
+		if ni != nj {
+			return ni
+		}
+		if ni {
+			if pi != pj {
+				return pi < pj
+			}
+			return groups[i].signature < groups[j].signature
+		}
+		if groups[i].size() != groups[j].size() {
+			return groups[i].size() > groups[j].size()
+		}
+		return groups[i].signature < groups[j].signature
+	})
+
+	batch := st.Batches()
+	if len(st.decided) > 0 {
+		batch = st.decided[len(st.decided)-1].Batch + 1
+	}
+	var out []StreamFact
+	for _, g := range groups {
+		gTrust := st.state.vector()
+		p := score.Corrob(g.votes, gTrust)
+		if st.Config.Strategy == SelectScale || st.Config.Strategy == SelectHeu {
+			// Backed-by-positive protection and strict tie handling, as
+			// in the scale profile's batch rounds.
+			if p <= truth.Threshold && !g.conflicted() && g.backedByPositive(gTrust) {
+				p = truth.Threshold // confirmed by a positive backer
+			} else if p == truth.Threshold && g.conflicted() {
+				p = nextBelowThreshold
+			}
+		}
+		facts := g.take(g.size())
+		st.state.absorb(g.votes, outcome(p, st.Config.SoftAbsorb), len(facts))
+		for _, f := range facts {
+			sf := StreamFact{
+				Name:        d.FactName(f),
+				Batch:       batch,
+				Probability: p,
+				Prediction:  truth.LabelOf(p, truth.Threshold),
+			}
+			out = append(out, sf)
+			st.decided = append(st.decided, sf)
+		}
+	}
+	return out, nil
+}

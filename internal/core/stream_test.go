@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+func TestStreamBasics(t *testing.T) {
+	st := NewStream()
+	if st.Batches() != 0 {
+		t.Fatal("fresh stream should have 0 batches")
+	}
+	out, err := st.AddBatch([]BatchVote{
+		{Fact: "a", Source: "s1", Vote: truth.Affirm},
+		{Fact: "a", Source: "s2", Vote: truth.Affirm},
+		{Fact: "b", Source: "s1", Vote: truth.Affirm},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("batch decided %d facts, want 2", len(out))
+	}
+	for _, f := range out {
+		if f.Prediction != truth.True {
+			t.Errorf("fact %s predicted %v, want true", f.Name, f.Prediction)
+		}
+		if f.Batch != 0 {
+			t.Errorf("fact %s batch = %d, want 0", f.Name, f.Batch)
+		}
+	}
+	if st.Batches() != 1 {
+		t.Errorf("Batches = %d, want 1", st.Batches())
+	}
+	tr := st.Trust()
+	if tr["s1"] != 1 || tr["s2"] != 1 {
+		t.Errorf("trust = %v, want all 1 after affirmed-true batch", tr)
+	}
+}
+
+func TestStreamRejectsBadInput(t *testing.T) {
+	st := NewStream()
+	if _, err := st.AddBatch(nil); err == nil {
+		t.Error("empty batch must be rejected")
+	}
+	if _, err := st.AddBatch([]BatchVote{{Fact: "x", Source: "s", Vote: truth.Absent}}); err == nil {
+		t.Error("absent vote must be rejected")
+	}
+}
+
+// TestStreamCarriesTrustAcrossBatches is the point of the API: a source
+// exposed in batch 1 is distrusted in batch 2.
+func TestStreamCarriesTrustAcrossBatches(t *testing.T) {
+	st := NewStream()
+	// Batch 1: the flagger denies three facts the laggard affirms, and
+	// the flagger's own facts are corroborated by a third source.
+	var batch1 []BatchVote
+	for _, f := range []string{"x1", "x2", "x3"} {
+		batch1 = append(batch1,
+			BatchVote{Fact: f, Source: "flagger", Vote: truth.Deny},
+			BatchVote{Fact: f, Source: "laggard", Vote: truth.Affirm},
+		)
+	}
+	for _, f := range []string{"g1", "g2", "g3"} {
+		batch1 = append(batch1,
+			BatchVote{Fact: f, Source: "flagger", Vote: truth.Affirm},
+			BatchVote{Fact: f, Source: "other", Vote: truth.Affirm},
+		)
+	}
+	if _, err := st.AddBatch(batch1); err != nil {
+		t.Fatal(err)
+	}
+	tr := st.Trust()
+	if tr["laggard"] >= 0.5 {
+		t.Fatalf("laggard trust = %v after exposure, want < 0.5", tr["laggard"])
+	}
+	if tr["flagger"] <= tr["laggard"] {
+		t.Fatalf("flagger (%v) must out-trust laggard (%v)", tr["flagger"], tr["laggard"])
+	}
+
+	// Batch 2: solo affirmations from each source. The laggard's should be
+	// rejected, the flagger's confirmed — with no conflict in this batch
+	// at all, the verdicts come purely from carried-over trust.
+	out, err := st.AddBatch([]BatchVote{
+		{Fact: "solo-laggard", Source: "laggard", Vote: truth.Affirm},
+		{Fact: "solo-flagger", Source: "flagger", Vote: truth.Affirm},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]truth.Label{}
+	for _, f := range out {
+		got[f.Name] = f.Prediction
+	}
+	if got["solo-laggard"] != truth.False {
+		t.Errorf("solo-laggard = %v, want false (carried trust)", got["solo-laggard"])
+	}
+	if got["solo-flagger"] != truth.True {
+		t.Errorf("solo-flagger = %v, want true", got["solo-flagger"])
+	}
+	if st.Batches() != 2 {
+		t.Errorf("Batches = %d, want 2", st.Batches())
+	}
+	if len(st.Decided()) != 8 {
+		t.Errorf("Decided holds %d facts, want 8", len(st.Decided()))
+	}
+}
+
+func TestStreamNewSourcesGetDefaultTrust(t *testing.T) {
+	st := NewStream()
+	if _, err := st.AddBatch([]BatchVote{
+		{Fact: "a", Source: "old", Vote: truth.Affirm},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.AddBatch([]BatchVote{
+		{Fact: "b", Source: "newcomer", Vote: truth.Affirm},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Prediction != truth.True {
+		t.Error("a newcomer's affirmation starts at the default trust and confirms")
+	}
+	if tr := st.Trust()["newcomer"]; tr != 1 {
+		t.Errorf("newcomer trust = %v after one confirmed fact", tr)
+	}
+}
+
+func TestStreamBackedProtectionInBatch(t *testing.T) {
+	st := NewStream()
+	// Crash a laggard in batch 1.
+	var batch []BatchVote
+	for _, f := range []string{"x1", "x2", "x3", "x4"} {
+		batch = append(batch,
+			BatchVote{Fact: f, Source: "flagger", Vote: truth.Deny},
+			BatchVote{Fact: f, Source: "laggard", Vote: truth.Affirm})
+	}
+	for _, f := range []string{"g1", "g2"} {
+		batch = append(batch, BatchVote{Fact: f, Source: "flagger", Vote: truth.Affirm})
+	}
+	if _, err := st.AddBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2: a fact backed by BOTH the crashed laggard and the healthy
+	// flagger must be confirmed (backed-by-positive), not dragged under.
+	out, err := st.AddBatch([]BatchVote{
+		{Fact: "mixed", Source: "laggard", Vote: truth.Affirm},
+		{Fact: "mixed", Source: "flagger", Vote: truth.Affirm},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Prediction != truth.True {
+		t.Errorf("mixed fact = %v (p=%v), want true", out[0].Prediction, out[0].Probability)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	mk := func() []StreamFact {
+		st := NewStream()
+		st.AddBatch([]BatchVote{
+			{Fact: "a", Source: "s1", Vote: truth.Affirm},
+			{Fact: "b", Source: "s2", Vote: truth.Deny},
+			{Fact: "b", Source: "s3", Vote: truth.Affirm},
+			{Fact: "c", Source: "s1", Vote: truth.Affirm},
+			{Fact: "c", Source: "s3", Vote: truth.Affirm},
+		})
+		st.AddBatch([]BatchVote{
+			{Fact: "d", Source: "s3", Vote: truth.Affirm},
+			{Fact: "e", Source: "s2", Vote: truth.Affirm},
+		})
+		return st.Decided()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("stream runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream runs diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"corroborate/internal/score"
+	"corroborate/internal/truth"
+)
+
+// trustState tracks the incrementally calculated trust score (Definition 1):
+// for each source, the sum and count of credits earned from the facts
+// evaluated so far. A source with no evaluated facts reports the default
+// trust, matching the '-' entries in the paper's Figure 1 walk-through
+// (undefined trust falls back to the initial value when used).
+type trustState struct {
+	defaultTrust float64
+	credit       []float64
+	count        []int
+
+	// Anchors, when non-nil, blend the undecided mass into the trust (the
+	// AnchoredTrust option): each source's still-unevaluated facts
+	// contribute their lagged corroborated probability as soft credit.
+	anchorCredit []float64
+	anchorCount  []float64
+}
+
+func newTrustState(sources int, defaultTrust float64) *trustState {
+	return &trustState{
+		defaultTrust: defaultTrust,
+		credit:       make([]float64, sources),
+		count:        make([]int, sources),
+	}
+}
+
+// enableAnchors switches the state to anchored mode.
+func (t *trustState) enableAnchors() {
+	t.anchorCredit = make([]float64, len(t.credit))
+	t.anchorCount = make([]float64, len(t.credit))
+}
+
+// setAnchors replaces the anchor accumulators for source s.
+func (t *trustState) setAnchors(s int, credit, count float64) {
+	t.anchorCredit[s] = credit
+	t.anchorCount[s] = count
+}
+
+// trust returns source s's current trust value σi(s).
+func (t *trustState) trust(s int) float64 {
+	credit, count := t.credit[s], float64(t.count[s])
+	if t.anchorCredit != nil {
+		credit += t.anchorCredit[s]
+		count += t.anchorCount[s]
+	}
+	if count == 0 {
+		return t.defaultTrust
+	}
+	return credit / count
+}
+
+// vector materializes the whole trust vector; the returned slice is owned
+// by the caller.
+func (t *trustState) vector() []float64 {
+	out := make([]float64, len(t.credit))
+	for s := range out {
+		out[s] = t.trust(s)
+	}
+	return out
+}
+
+// absorb records the evaluation of count facts sharing the given posting
+// list, whose normalized corroboration outcome is normProb (1 for facts
+// decided true, 0 for false; the paper's Update_Trust considers the
+// probability to be 1 for true facts).
+func (t *trustState) absorb(votes []truth.SourceVote, normProb float64, count int) {
+	for _, sv := range votes {
+		t.credit[sv.Source] += float64(count) * score.SourceCredit(sv.Vote, normProb)
+		t.count[sv.Source] += count
+	}
+}
+
+// clone deep-copies the state; used for hypothetical ∆H projections.
+func (t *trustState) clone() *trustState {
+	c := &trustState{
+		defaultTrust: t.defaultTrust,
+		credit:       append([]float64(nil), t.credit...),
+		count:        append([]int(nil), t.count...),
+	}
+	if t.anchorCredit != nil {
+		c.anchorCredit = append([]float64(nil), t.anchorCredit...)
+		c.anchorCount = append([]float64(nil), t.anchorCount...)
+	}
+	return c
+}
+
+// project returns the trust vector that would result from evaluating count
+// facts with the given posting list and normalized outcome, without
+// mutating the state (anchors, when enabled, are held fixed — they lag one
+// round by design). The scratch slice (len == sources) is reused to avoid
+// allocation in the ∆H inner loop; the returned slice aliases it.
+func (t *trustState) project(votes []truth.SourceVote, normProb float64, count int, scratch []float64) []float64 {
+	for s := range scratch {
+		scratch[s] = t.trust(s)
+	}
+	for _, sv := range votes {
+		credit := t.credit[sv.Source] + float64(count)*score.SourceCredit(sv.Vote, normProb)
+		n := float64(t.count[sv.Source] + count)
+		if t.anchorCredit != nil {
+			credit += t.anchorCredit[sv.Source]
+			n += t.anchorCount[sv.Source]
+		}
+		scratch[sv.Source] = credit / n
+	}
+	return scratch
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+func TestTrustStateDefaults(t *testing.T) {
+	st := newTrustState(3, 0.9)
+	for s := 0; s < 3; s++ {
+		if st.trust(s) != 0.9 {
+			t.Errorf("unevaluated source %d trust = %v, want default", s, st.trust(s))
+		}
+	}
+}
+
+func TestTrustStateAbsorb(t *testing.T) {
+	st := newTrustState(3, 0.9)
+	votes := []truth.SourceVote{
+		{Source: 0, Vote: truth.Affirm},
+		{Source: 2, Vote: truth.Deny},
+	}
+	st.absorb(votes, 1, 2) // two facts decided true
+	if st.trust(0) != 1 {
+		t.Errorf("trust(0) = %v, want 1", st.trust(0))
+	}
+	if st.trust(2) != 0 {
+		t.Errorf("trust(2) = %v, want 0 (denied a true fact)", st.trust(2))
+	}
+	if st.trust(1) != 0.9 {
+		t.Errorf("trust(1) = %v, want untouched default", st.trust(1))
+	}
+	st.absorb(votes, 0, 2) // two facts decided false
+	if math.Abs(st.trust(0)-0.5) > 1e-12 {
+		t.Errorf("trust(0) = %v, want 0.5 after mixed outcomes", st.trust(0))
+	}
+	if math.Abs(st.trust(2)-0.5) > 1e-12 {
+		t.Errorf("trust(2) = %v, want 0.5", st.trust(2))
+	}
+}
+
+func TestTrustStateProjectDoesNotMutate(t *testing.T) {
+	st := newTrustState(2, 0.9)
+	votes := []truth.SourceVote{{Source: 0, Vote: truth.Affirm}}
+	scratch := make([]float64, 2)
+	proj := st.project(votes, 1, 3, scratch)
+	if proj[0] != 1 {
+		t.Errorf("projected trust(0) = %v, want 1", proj[0])
+	}
+	if proj[1] != 0.9 {
+		t.Errorf("projected trust(1) = %v, want default", proj[1])
+	}
+	if st.trust(0) != 0.9 {
+		t.Error("project must not mutate the state")
+	}
+}
+
+func TestTrustStateProjectMatchesAbsorb(t *testing.T) {
+	st := newTrustState(3, 0.9)
+	votes := []truth.SourceVote{
+		{Source: 0, Vote: truth.Affirm},
+		{Source: 1, Vote: truth.Deny},
+	}
+	st.absorb(votes, 1, 1)
+	more := []truth.SourceVote{
+		{Source: 1, Vote: truth.Affirm},
+		{Source: 2, Vote: truth.Affirm},
+	}
+	scratch := make([]float64, 3)
+	proj := append([]float64(nil), st.project(more, 0, 4, scratch)...)
+	clone := st.clone()
+	clone.absorb(more, 0, 4)
+	got := clone.vector()
+	for s := range got {
+		if math.Abs(got[s]-proj[s]) > 1e-12 {
+			t.Errorf("source %d: project %v vs absorb %v", s, proj[s], got[s])
+		}
+	}
+	// And the original state is untouched by the clone's absorb.
+	if st.count[1] != 1 {
+		t.Error("clone.absorb leaked into the original state")
+	}
+}
+
+func TestTrustVectorIsCopy(t *testing.T) {
+	st := newTrustState(2, 0.5)
+	v := st.vector()
+	v[0] = 0.123
+	if st.trust(0) == 0.123 {
+		t.Error("vector must return an independent copy")
+	}
+}

@@ -1,0 +1,122 @@
+package dedup
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CrawlConfig parameterizes the synthetic raw crawl used to exercise the
+// pipeline (the paper's crawl had 42,969 raw listings over ~36,916 real
+// restaurants).
+type CrawlConfig struct {
+	// Entities is the number of distinct restaurants; 0 means 2000.
+	Entities int
+	// Sources lists the crawled sites; empty means the paper's six.
+	Sources []string
+	// ListProb is the probability a source lists an entity; 0 means 0.35.
+	ListProb float64
+	// VariantProb is the probability a listing uses a mangled variant of
+	// the entity's name/address instead of the canonical form; 0 means
+	// 0.4.
+	VariantProb float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (c CrawlConfig) withDefaults() CrawlConfig {
+	if c.Entities == 0 {
+		c.Entities = 2000
+	}
+	if len(c.Sources) == 0 {
+		c.Sources = []string{"YellowPages", "Foursquare", "MenuPages", "OpenTable", "CitySearch", "Yelp"}
+	}
+	if c.ListProb == 0 {
+		c.ListProb = 0.35
+	}
+	if c.VariantProb == 0 {
+		c.VariantProb = 0.4
+	}
+	return c
+}
+
+var (
+	nameHeads = []string{"Golden", "Blue", "Little", "Grand", "Royal", "Old", "New", "Lucky", "Silver", "Red"}
+	nameBodys = []string{"Dragon", "Olive", "Harbor", "Garden", "Palace", "Corner", "Village", "Star", "Fork", "Table"}
+	nameTails = []string{"Bistro", "Diner", "Grill", "Kitchen", "Cafe", "Trattoria", "Tavern", "House", "Bar", "Deli"}
+	streets   = []string{"Main St", "2nd Ave", "Broadway", "W 46th St", "Elm Street", "Park Ave", "5th Ave", "Canal St", "Mott St", "Bleecker St"}
+)
+
+// GenerateCrawl produces a synthetic raw crawl: per entity, each source
+// lists it with probability ListProb, sometimes with a mangled variant of
+// the name and address (dropped punctuation, abbreviations, extra suffixes,
+// a swapped character — the noise the paper's pipeline cleans up). It
+// returns the raw listings and the ground-truth entity index per listing.
+func GenerateCrawl(cfg CrawlConfig) ([]Listing, []int) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var listings []Listing
+	var entityOf []int
+	for e := 0; e < cfg.Entities; e++ {
+		name := fmt.Sprintf("%s %s %s",
+			nameHeads[rng.Intn(len(nameHeads))],
+			nameBodys[rng.Intn(len(nameBodys))],
+			nameTails[rng.Intn(len(nameTails))])
+		addr := fmt.Sprintf("%d %s, New York", 1+rng.Intn(999), streets[rng.Intn(len(streets))])
+		listed := false
+		for _, src := range cfg.Sources {
+			if rng.Float64() >= cfg.ListProb {
+				continue
+			}
+			listed = true
+			n, a := name, addr
+			if rng.Float64() < cfg.VariantProb {
+				n = mangleName(rng, n)
+				a = mangleAddress(rng, a)
+			}
+			listings = append(listings, Listing{Source: src, Name: n, Address: a})
+			entityOf = append(entityOf, e)
+		}
+		if !listed {
+			// Every entity exists because somebody listed it; force one.
+			listings = append(listings, Listing{Source: cfg.Sources[rng.Intn(len(cfg.Sources))], Name: name, Address: addr})
+			entityOf = append(entityOf, e)
+		}
+	}
+	return listings, entityOf
+}
+
+func mangleName(rng *rand.Rand, name string) string {
+	switch rng.Intn(4) {
+	case 0:
+		return strings.ToUpper(name)
+	case 1:
+		return name + " Restaurant"
+	case 2:
+		return strings.ReplaceAll(name, " ", "  ")
+	default:
+		// Drop the last word ("Golden Dragon" for "Golden Dragon Bistro").
+		fields := strings.Fields(name)
+		if len(fields) > 2 {
+			return strings.Join(fields[:len(fields)-1], " ")
+		}
+		return name
+	}
+}
+
+func mangleAddress(rng *rand.Rand, addr string) string {
+	a := addr
+	switch rng.Intn(4) {
+	case 0:
+		a = strings.ReplaceAll(a, "Street", "St")
+		a = strings.ReplaceAll(a, "Avenue", "Ave")
+	case 1:
+		a = strings.ReplaceAll(a, ",", "")
+	case 2:
+		a = strings.ToLower(a)
+	default:
+		a = strings.ReplaceAll(a, "New York", "NY")
+	}
+	return a
+}

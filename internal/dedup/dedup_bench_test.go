@@ -1,0 +1,33 @@
+package dedup
+
+import "testing"
+
+func BenchmarkNormalizeAddress(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NormalizeAddress("346 W 46th St, Apt 3B, New York, NY")
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	x := NormalizeAddress("Danny's Grand Sea Palace Restaurant")
+	y := NormalizeAddress("DANNYS GRAND SEA PALACE")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Similarity(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkTrigramCosine(b *testing.B) {
+	x := "golden dragon bistro on main street"
+	y := "golden dragon bistro restaurant"
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += TrigramCosine(x, y)
+	}
+	_ = sink
+}

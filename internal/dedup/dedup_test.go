@@ -1,0 +1,174 @@
+package dedup
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeAddress(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"346 West 46th St, New York", "346 west 46th street new york"},
+		{"346 W 46th Street,  NEW YORK", "346 west 46th street new york"},
+		{"12 Park Ave.", "12 park avenue"},
+		{"5th Ave & Main St", "fifth avenue and main street"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeAddress(c.in); got != c.want {
+			t.Errorf("NormalizeAddress(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizeAddress(s)
+		return NormalizeAddress(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	got := NGrams("abcd e", 3)
+	want := []string{"abc", "bcd", "cde"}
+	if len(got) != len(want) {
+		t.Fatalf("NGrams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("NGrams[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if g := NGrams("ab", 3); len(g) != 1 || g[0] != "ab" {
+		t.Errorf("short string should yield itself, got %v", g)
+	}
+	if NGrams("", 3) != nil {
+		t.Error("empty string should yield nil")
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	if got := TermCosine("golden dragon", "golden dragon"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical strings cosine = %v, want 1", got)
+	}
+	if got := TermCosine("golden dragon", "blue harbor"); got != 0 {
+		t.Errorf("disjoint strings cosine = %v, want 0", got)
+	}
+	a, b := "golden dragon bistro", "golden dragon"
+	if got := TermCosine(a, b); got <= 0 || got >= 1 {
+		t.Errorf("partial overlap cosine = %v, want in (0, 1)", got)
+	}
+	// Symmetry.
+	if TermCosine(a, b) != TermCosine(b, a) {
+		t.Error("cosine must be symmetric")
+	}
+	if TrigramCosine(a, b) != TrigramCosine(b, a) {
+		t.Error("trigram cosine must be symmetric")
+	}
+}
+
+func TestSimilarityBoundsProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Similarity(NormalizeAddress(a), NormalizeAddress(b))
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeduplicateMergesVariants(t *testing.T) {
+	listings := []Listing{
+		{Source: "a", Name: "Danny's Grand Sea Palace", Address: "346 West 46th St, New York"},
+		{Source: "b", Name: "DANNY'S GRAND SEA PALACE", Address: "346 W 46th Street, New York"},
+		{Source: "c", Name: "Dannys Grand Sea Palace Restaurant", Address: "346 west 46th st new york"},
+		{Source: "a", Name: "Blue Harbor Grill", Address: "12 Main St"},
+	}
+	entities, err := Deduplicate(listings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entities) != 2 {
+		t.Fatalf("got %d entities, want 2: %+v", len(entities), entities)
+	}
+	var palace *Entity
+	for i := range entities {
+		if len(entities[i].Listings) == 3 {
+			palace = &entities[i]
+		}
+	}
+	if palace == nil {
+		t.Fatal("the three Danny's listings should merge into one entity")
+	}
+}
+
+func TestDeduplicateKeepsDistinctNamesApart(t *testing.T) {
+	// Same address, clearly different restaurants (e.g. a food court).
+	listings := []Listing{
+		{Source: "a", Name: "Golden Dragon", Address: "1 Canal St"},
+		{Source: "b", Name: "Pizza Corner", Address: "1 Canal St"},
+	}
+	entities, err := Deduplicate(listings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entities) != 2 {
+		t.Fatalf("distinct names at one address must stay apart, got %d entities", len(entities))
+	}
+}
+
+func TestDeduplicateThresholdValidation(t *testing.T) {
+	if _, err := Deduplicate(nil, Options{Threshold: 1.5}); err == nil {
+		t.Error("out-of-range threshold must be rejected")
+	}
+}
+
+func TestPipelineOnSyntheticCrawl(t *testing.T) {
+	listings, entityOf := GenerateCrawl(CrawlConfig{Entities: 500, Seed: 1})
+	entities, err := Deduplicate(listings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entities) >= len(listings) {
+		t.Fatalf("dedup should shrink the crawl: %d entities from %d listings", len(entities), len(listings))
+	}
+	// Cluster quality: pairwise precision within clusters (listings merged
+	// together should mostly belong to one ground-truth entity).
+	var agree, pairs int
+	for _, e := range entities {
+		for i := 0; i < len(e.Listings); i++ {
+			for j := i + 1; j < len(e.Listings); j++ {
+				pairs++
+				if entityOf[e.Listings[i]] == entityOf[e.Listings[j]] {
+					agree++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no multi-listing clusters formed")
+	}
+	if precision := float64(agree) / float64(pairs); precision < 0.95 {
+		t.Errorf("pairwise cluster precision = %v, want >= 0.95", precision)
+	}
+	// Entity-count sanity: within 30% of the ground truth.
+	if len(entities) < 400 || len(entities) > 900 {
+		t.Errorf("recovered %d entities for 500 ground-truth ones", len(entities))
+	}
+}
+
+func TestCrawlGeneratorDeterminism(t *testing.T) {
+	a, ea := GenerateCrawl(CrawlConfig{Entities: 100, Seed: 3})
+	b, eb := GenerateCrawl(CrawlConfig{Entities: 100, Seed: 3})
+	if len(a) != len(b) || len(ea) != len(eb) {
+		t.Fatal("crawl generation is not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] || ea[i] != eb[i] {
+			t.Fatal("crawl listings differ across identical runs")
+		}
+	}
+}

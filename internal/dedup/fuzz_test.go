@@ -1,0 +1,40 @@
+package dedup
+
+import "testing"
+
+func FuzzNormalizeAddress(f *testing.F) {
+	for _, seed := range []string{
+		"346 W 46th St, New York",
+		"Danny's Grand Sea Palace",
+		"", "   ", "&&&", "５番街", "a\x00b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := NormalizeAddress(s)
+		if NormalizeAddress(out) != out {
+			t.Fatalf("normalization not idempotent on %q: %q -> %q", s, out, NormalizeAddress(out))
+		}
+		for _, r := range out {
+			if r == '\n' || r == '\t' {
+				t.Fatalf("normalized output contains control whitespace: %q", out)
+			}
+		}
+	})
+}
+
+func FuzzSimilarity(f *testing.F) {
+	f.Add("golden dragon", "golden dragon bistro")
+	f.Add("", "x")
+	f.Add("ab", "ba")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		s := Similarity(NormalizeAddress(a), NormalizeAddress(b))
+		if s < 0 || s > 1+1e-9 || s != s {
+			t.Fatalf("Similarity(%q, %q) = %v out of range", a, b, s)
+		}
+		s2 := Similarity(NormalizeAddress(b), NormalizeAddress(a))
+		if s != s2 {
+			t.Fatalf("similarity not symmetric: %v vs %v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package dedup
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Listing is one raw crawled record: a restaurant name and address as some
+// source presented them.
+type Listing struct {
+	// Source is the name of the site the listing came from.
+	Source string
+	// Name and Address are the raw crawled strings.
+	Name, Address string
+	// Closed marks listings the source flagged as CLOSED.
+	Closed bool
+}
+
+// Entity is a deduplicated real-world restaurant: the merged listings plus
+// the canonical key they clustered under.
+type Entity struct {
+	// Key is the normalized address the cluster was grouped by.
+	Key string
+	// Name is the representative (most common) normalized name.
+	Name string
+	// Listings indexes the raw listings merged into this entity.
+	Listings []int
+}
+
+// unionFind is a standard disjoint-set structure with path compression and
+// union by rank.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Options configures the pipeline.
+type Options struct {
+	// Threshold is the similarity above which two same-address listings
+	// merge; 0 means the paper's 0.8.
+	Threshold float64
+}
+
+// Deduplicate runs the paper's cleaning pipeline: normalize addresses,
+// group listings sharing a normalized address, compute pairwise name
+// similarity within each group, and merge pairs whose combined term/3-gram
+// cosine similarity is at or above the threshold. Entities are returned in
+// a deterministic order (by key, then representative name).
+func Deduplicate(listings []Listing, opts Options) ([]Entity, error) {
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = 0.8
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("dedup: threshold %v out of [0, 1]", threshold)
+	}
+
+	normAddr := make([]string, len(listings))
+	normName := make([]string, len(listings))
+	byAddr := make(map[string][]int)
+	for i, l := range listings {
+		normAddr[i] = NormalizeAddress(l.Address)
+		normName[i] = NormalizeAddress(l.Name) // same canonicalization rules
+		byAddr[normAddr[i]] = append(byAddr[normAddr[i]], i)
+	}
+
+	uf := newUnionFind(len(listings))
+	for _, group := range byAddr {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if uf.find(a) == uf.find(b) {
+					continue
+				}
+				if Similarity(normName[a], normName[b]) >= threshold {
+					uf.union(a, b)
+				}
+			}
+		}
+	}
+
+	clusters := make(map[int][]int)
+	for i := range listings {
+		root := uf.find(i)
+		clusters[root] = append(clusters[root], i)
+	}
+	entities := make([]Entity, 0, len(clusters))
+	for _, members := range clusters {
+		sort.Ints(members)
+		nameCount := make(map[string]int)
+		for _, m := range members {
+			nameCount[normName[m]]++
+		}
+		best, bestN := "", 0
+		for name, n := range nameCount {
+			if n > bestN || (n == bestN && name < best) {
+				best, bestN = name, n
+			}
+		}
+		entities = append(entities, Entity{
+			Key:      normAddr[members[0]],
+			Name:     best,
+			Listings: members,
+		})
+	}
+	sort.Slice(entities, func(i, j int) bool {
+		if entities[i].Key != entities[j].Key {
+			return entities[i].Key < entities[j].Key
+		}
+		return entities[i].Name < entities[j].Name
+	})
+	return entities, nil
+}

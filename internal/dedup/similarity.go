@@ -1,0 +1,51 @@
+package dedup
+
+import "math"
+
+// counts builds a frequency vector over the given items.
+func counts(items []string) map[string]float64 {
+	m := make(map[string]float64, len(items))
+	for _, it := range items {
+		m[it]++
+	}
+	return m
+}
+
+// Cosine computes the cosine similarity of two frequency vectors.
+func Cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for k, va := range a {
+		na += va * va
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// TermCosine is the cosine similarity of two strings at the term level.
+func TermCosine(a, b string) float64 {
+	return Cosine(counts(Tokens(a)), counts(Tokens(b)))
+}
+
+// TrigramCosine is the cosine similarity of two strings at the character
+// 3-gram level.
+func TrigramCosine(a, b string) float64 {
+	return Cosine(counts(NGrams(a, 3)), counts(NGrams(b, 3)))
+}
+
+// Similarity is the paper's combined measure: cosine similarity "at the
+// term level as well as 3-gram level"; we take the mean of the two so a
+// pair must look alike both token-wise and character-wise.
+func Similarity(a, b string) float64 {
+	return (TermCosine(a, b) + TrigramCosine(a, b)) / 2
+}

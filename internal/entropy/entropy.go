@@ -1,0 +1,42 @@
+// Package entropy provides the information-theoretic primitives used by the
+// IncEstimate fact-selection heuristic (Wu & Marian, EDBT 2014, §3.2 and
+// §5.1): the binary entropy of an unknown fact's truth probability and the
+// collective entropy of a set of unknown facts.
+package entropy
+
+import "math"
+
+// H is the binary entropy (Eq. 3 of the paper) of a probability p, in bits:
+//
+//	H(p) = -p·log2(p) - (1-p)·log2(1-p)
+//
+// H(0) = H(1) = 0 (no uncertainty) and H(0.5) = 1 (maximum uncertainty).
+// Inputs are clamped to [0, 1] so callers may pass values with floating-point
+// drift just outside the interval.
+func H(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Collective is the collective entropy H(F̄) of a set of unknown facts: the
+// sum of the binary entropy of each probability.
+func Collective(probs []float64) float64 {
+	var sum float64
+	for _, p := range probs {
+		sum += H(p)
+	}
+	return sum
+}
+
+// Weighted is the collective entropy of groups of facts: weights[i] facts
+// all sharing probability probs[i]. It is the quantity the ∆H score of
+// Eq. 9 compares before and after a hypothetical trust update.
+func Weighted(probs []float64, weights []int) float64 {
+	var sum float64
+	for i, p := range probs {
+		sum += float64(weights[i]) * H(p)
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+package entropy
+
+import "testing"
+
+func BenchmarkH(b *testing.B) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += H(float64(i%1000) / 1000)
+	}
+	_ = sink
+}
+
+func BenchmarkCollective(b *testing.B) {
+	probs := make([]float64, 1024)
+	for i := range probs {
+		probs[i] = float64(i) / 1024
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Collective(probs)
+	}
+	_ = sink
+}

@@ -1,0 +1,83 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{0.5, 1},
+		{0.25, 0.8112781244591328}, // -0.25·log2(0.25) - 0.75·log2(0.75)
+		{0.75, 0.8112781244591328},
+		{0.9, 0.4689955935892812},
+	}
+	for _, c := range cases {
+		if got := H(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("H(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHClampsOutOfRange(t *testing.T) {
+	if H(-0.1) != 0 || H(1.1) != 0 {
+		t.Error("out-of-range probabilities must have zero entropy")
+	}
+}
+
+func TestHProperties(t *testing.T) {
+	// Symmetry, bounds, and maximum at 0.5 over the whole domain.
+	f := func(x float64) bool {
+		p := math.Mod(math.Abs(x), 1)
+		h := H(p)
+		if h < 0 || h > 1 {
+			return false
+		}
+		if math.Abs(h-H(1-p)) > 1e-9 {
+			return false
+		}
+		return h <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHMonotoneTowardHalf(t *testing.T) {
+	prev := 0.0
+	for p := 0.0; p <= 0.5+1e-9; p += 0.01 {
+		h := H(p)
+		if h+1e-12 < prev {
+			t.Fatalf("H not monotone on [0, 0.5]: H(%v)=%v < %v", p, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestCollective(t *testing.T) {
+	got := Collective([]float64{0.5, 0.5, 1, 0})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Collective = %v, want 2", got)
+	}
+	if Collective(nil) != 0 {
+		t.Error("Collective(nil) must be 0")
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	got := Weighted([]float64{0.5, 1}, []int{3, 100})
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("Weighted = %v, want 3", got)
+	}
+	// Weighted with unit weights equals Collective.
+	probs := []float64{0.1, 0.4, 0.9}
+	w := Weighted(probs, []int{1, 1, 1})
+	if math.Abs(w-Collective(probs)) > 1e-12 {
+		t.Errorf("Weighted(unit) = %v, Collective = %v", w, Collective(probs))
+	}
+}

@@ -1,0 +1,224 @@
+// Package hubdub simulates the Hubdub dataset used in Wu & Marian
+// (EDBT 2014, §6.2.6) and originally in Galland et al. (WSDM 2010): a
+// snapshot of settled prediction-market questions from hubdub.com with 830
+// candidate answers ("facts") from 471 users on 357 questions.
+//
+// hubdub.com shut down in 2012 and the snapshot is not redistributable, so
+// this package generates a calibrated synthetic equivalent with the same
+// shape: a fixed number of questions, each with a handful of mutually
+// exclusive candidate answers exactly one of which is correct, and a
+// heavy-tailed population of users who each bet on a few questions with
+// heterogeneous accuracy. Unlike the paper's main scenario, conflict is
+// ample here: betting on one answer is an implicit F vote on the question's
+// other answers, which is how Galland et al. model multi-valued questions
+// with boolean facts and how the dataset is materialized here.
+//
+// The evaluation metric matches the papers': each method scores every
+// answer-fact, the top-scoring answer of each question is predicted true
+// and its siblings false, and the reported number is the total of false
+// positives and false negatives over all facts (Table 7).
+package hubdub
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corroborate/internal/truth"
+)
+
+// Config parameterizes the simulated snapshot. Zero values reproduce the
+// published shape (830 answers, 471 users, 357 questions).
+type Config struct {
+	// Questions is the number of settled questions; 0 means 357.
+	Questions int
+	// Users is the number of bettors; 0 means 471.
+	Users int
+	// TargetAnswers is the total number of candidate answers; 0 means 830.
+	// Answers are distributed 2-5 per question to hit the target.
+	TargetAnswers int
+	// MeanBets is the average number of questions a user bets on; 0 means
+	// 3.5 (heavy-tailed: most users bet once or twice, a few dozens).
+	MeanBets float64
+	// ExpertShare is the fraction of users with high accuracy (drawn from
+	// [0.75, 0.95]); the rest draw from [0.35, 0.65]. 0 means 0.25.
+	ExpertShare float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Questions == 0 {
+		c.Questions = 357
+	}
+	if c.Users == 0 {
+		c.Users = 471
+	}
+	if c.TargetAnswers == 0 {
+		c.TargetAnswers = 830
+	}
+	if c.MeanBets == 0 {
+		c.MeanBets = 3.5
+	}
+	if c.ExpertShare == 0 {
+		c.ExpertShare = 0.25
+	}
+	return c
+}
+
+// World is the simulated snapshot: the vote dataset plus the question
+// structure needed for the argmax evaluation.
+type World struct {
+	Dataset *truth.Dataset
+	// Question[f] is the question index of answer-fact f.
+	Question []int
+	// Answers[q] lists the fact indices of question q's candidates.
+	Answers [][]int
+	// Correct[q] is the fact index of question q's settled answer.
+	Correct []int
+	// UserAccuracy[u] is user u's latent accuracy.
+	UserAccuracy []float64
+	// Bets is the total number of bets placed.
+	Bets int
+}
+
+// Generate builds the simulated snapshot.
+func Generate(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Questions <= 0 || cfg.Users <= 0 {
+		return nil, fmt.Errorf("hubdub: need positive questions and users")
+	}
+	if cfg.TargetAnswers < 2*cfg.Questions {
+		return nil, fmt.Errorf("hubdub: %d answers cannot cover %d questions with at least 2 each", cfg.TargetAnswers, cfg.Questions)
+	}
+	if cfg.ExpertShare < 0 || cfg.ExpertShare > 1 {
+		return nil, fmt.Errorf("hubdub: expert share %v out of [0, 1]", cfg.ExpertShare)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	w := &World{}
+	b := truth.NewBuilder()
+	users := make([]int, cfg.Users)
+	for u := range users {
+		users[u] = b.Source(fmt.Sprintf("user%04d", u))
+		if rng.Float64() < cfg.ExpertShare {
+			w.UserAccuracy = append(w.UserAccuracy, 0.75+0.2*rng.Float64())
+		} else {
+			w.UserAccuracy = append(w.UserAccuracy, 0.35+0.3*rng.Float64())
+		}
+	}
+
+	// Distribute answers: start with 2 per question, sprinkle the surplus.
+	counts := make([]int, cfg.Questions)
+	for q := range counts {
+		counts[q] = 2
+	}
+	surplus := cfg.TargetAnswers - 2*cfg.Questions
+	for i := 0; i < surplus; i++ {
+		q := rng.Intn(cfg.Questions)
+		if counts[q] < 5 {
+			counts[q]++
+		} else {
+			i-- // retry elsewhere; bounded because surplus < 3·questions
+		}
+	}
+
+	w.Answers = make([][]int, cfg.Questions)
+	w.Correct = make([]int, cfg.Questions)
+	for q := 0; q < cfg.Questions; q++ {
+		correct := rng.Intn(counts[q])
+		for a := 0; a < counts[q]; a++ {
+			f := b.Fact(fmt.Sprintf("q%03d-a%d", q, a))
+			w.Question = append(w.Question, q)
+			w.Answers[q] = append(w.Answers[q], f)
+			if a == correct {
+				b.Label(f, truth.True)
+				w.Correct[q] = f
+			} else {
+				b.Label(f, truth.False)
+			}
+		}
+	}
+
+	// Betting: each user bets on a heavy-tailed number of random
+	// questions; a bet affirms one answer and implicitly denies the rest.
+	// Engagement correlates with skill — prediction-market regulars are
+	// better than drive-by bettors — which is what lets trust-aware
+	// methods beat the per-question majority.
+	for u, src := range users {
+		mean := cfg.MeanBets * (0.4 + 1.6*(w.UserAccuracy[u]-0.35))
+		if mean < 1 {
+			mean = 1
+		}
+		bets := 1 + int(rng.ExpFloat64()*mean)
+		if bets > cfg.Questions {
+			bets = cfg.Questions
+		}
+		seen := make(map[int]bool, bets)
+		for i := 0; i < bets; i++ {
+			q := rng.Intn(cfg.Questions)
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			var pick int
+			if rng.Float64() < w.UserAccuracy[u] {
+				pick = w.Correct[q]
+			} else {
+				// A wrong answer, uniformly among the siblings.
+				for {
+					pick = w.Answers[q][rng.Intn(len(w.Answers[q]))]
+					if pick != w.Correct[q] {
+						break
+					}
+				}
+			}
+			for _, f := range w.Answers[q] {
+				if f == pick {
+					b.Vote(f, src, truth.Affirm)
+				} else {
+					b.Vote(f, src, truth.Deny)
+				}
+			}
+			w.Bets++
+		}
+	}
+	w.Dataset = b.Build()
+	return w, nil
+}
+
+// Errors evaluates a corroboration result with the papers' metric: the
+// total number of false positives plus false negatives over all
+// answer-facts, using each method's own per-fact decisions (Eq. 2
+// thresholding). This is the number Table 7 reports.
+func (w *World) Errors(r *truth.Result) int {
+	errs := 0
+	for f := 0; f < w.Dataset.NumFacts(); f++ {
+		if r.Predictions[f] != w.Dataset.Label(f) {
+			errs++
+		}
+	}
+	return errs
+}
+
+// ArgmaxErrors is an alternative question-level metric: per question the
+// top-probability answer (ties to the lower fact index) is predicted true
+// and the rest false; every mispredicted question contributes one false
+// positive and one false negative.
+func (w *World) ArgmaxErrors(r *truth.Result) int {
+	errs := 0
+	for q, answers := range w.Answers {
+		best := answers[0]
+		for _, f := range answers[1:] {
+			if r.FactProb[f] > r.FactProb[best] {
+				best = f
+			}
+		}
+		if best != w.Correct[q] {
+			errs += 2
+		}
+	}
+	return errs
+}
+
+// QuestionsWrong counts the questions whose argmax answer is incorrect.
+func (w *World) QuestionsWrong(r *truth.Result) int { return w.ArgmaxErrors(r) / 2 }

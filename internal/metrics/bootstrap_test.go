@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+func TestBootstrapAccuracyBrackets(t *testing.T) {
+	d := buildBig(400)
+	// 75% accurate predictor: correct on all true facts, wrong on half the
+	// false ones.
+	r := truth.NewResult("x", d)
+	i := 0
+	for f := 0; f < d.NumFacts(); f++ {
+		if d.Label(f) == truth.True {
+			r.FactProb[f] = 1
+		} else if i++; i%2 == 0 {
+			r.FactProb[f] = 0
+		} else {
+			r.FactProb[f] = 1
+		}
+	}
+	r.Finalize()
+	point := Evaluate(d, r).Accuracy
+	iv, err := BootstrapAccuracy(d, r, 500, 0.95, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(point) {
+		t.Errorf("interval %v must contain the point estimate %v", iv, point)
+	}
+	if iv.High-iv.Low <= 0 {
+		t.Error("interval must have positive width")
+	}
+	if iv.High-iv.Low > 0.15 {
+		t.Errorf("interval %v too wide for n=400", iv)
+	}
+	if iv.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestBootstrapAccuracyPerfectPredictor(t *testing.T) {
+	d := buildBig(100)
+	r := truth.NewResult("oracle", d)
+	for f := 0; f < d.NumFacts(); f++ {
+		if d.Label(f) == truth.True {
+			r.FactProb[f] = 1
+		} else {
+			r.FactProb[f] = 0
+		}
+	}
+	r.Finalize()
+	iv, err := BootstrapAccuracy(d, r, 200, 0.9, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Low != 1 || iv.High != 1 {
+		t.Errorf("perfect predictor interval = %v, want [1, 1]", iv)
+	}
+}
+
+func TestBootstrapAccuracyValidation(t *testing.T) {
+	d := buildBig(10)
+	r := truth.NewResult("x", d)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := BootstrapAccuracy(d, r, 5, 0.95, rng); err == nil {
+		t.Error("too few rounds must be rejected")
+	}
+	if _, err := BootstrapAccuracy(d, r, 100, 1.5, rng); err == nil {
+		t.Error("bad level must be rejected")
+	}
+	empty := truth.NewBuilder().Build()
+	re := truth.NewResult("x", empty)
+	if _, err := BootstrapAccuracy(empty, re, 100, 0.95, rng); err == nil {
+		t.Error("empty golden set must be rejected")
+	}
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"corroborate/internal/truth"
+)
+
+func buildLabeled(labels []truth.Label) *truth.Dataset {
+	b := truth.NewBuilder()
+	b.AddSources("s")
+	for i, l := range labels {
+		f := b.Fact("f" + string(rune('a'+i)))
+		b.Vote(f, 0, truth.Affirm)
+		b.Label(f, l)
+	}
+	return b.Build()
+}
+
+func resultWith(d *truth.Dataset, preds []truth.Label) *truth.Result {
+	r := truth.NewResult("test", d)
+	for f, p := range preds {
+		if p == truth.True {
+			r.FactProb[f] = 1
+		} else {
+			r.FactProb[f] = 0
+		}
+	}
+	r.Finalize()
+	return r
+}
+
+func TestConfusionCounts(t *testing.T) {
+	d := buildLabeled([]truth.Label{truth.True, truth.True, truth.False, truth.False, truth.Unknown})
+	r := resultWith(d, []truth.Label{truth.True, truth.False, truth.True, truth.False, truth.True})
+	c := Confuse(d, r)
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %v", c)
+	}
+	if c.Evaluated() != 4 {
+		t.Errorf("Evaluated = %d, want 4 (unknown excluded)", c.Evaluated())
+	}
+	if c.Errors() != 2 {
+		t.Errorf("Errors = %d, want 2", c.Errors())
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	c := Confusion{TP: 7, FP: 2, TN: 3, FN: 0}
+	if got := c.Precision(); math.Abs(got-7.0/9) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := c.Recall(); got != 1 {
+		t.Errorf("recall = %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-10.0/12) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+	wantF1 := 2 * (7.0 / 9) / (7.0/9 + 1)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestEmptyConfusionIsSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Error("empty confusion must yield zeros, not NaN")
+	}
+}
+
+func TestEvaluateUsesGoldenSubset(t *testing.T) {
+	b := truth.NewBuilder()
+	b.AddSources("s")
+	f1 := b.Fact("a")
+	f2 := b.Fact("b")
+	b.Vote(f1, 0, truth.Affirm)
+	b.Vote(f2, 0, truth.Affirm)
+	b.Label(f1, truth.True)
+	b.Label(f2, truth.False)
+	b.Golden([]int{f1})
+	d := b.Build()
+	r := truth.NewResult("test", d) // predicts everything true
+	rep := Evaluate(d, r)
+	if rep.Confusion.Evaluated() != 1 {
+		t.Fatalf("evaluated %d facts, want 1 (golden only)", rep.Confusion.Evaluated())
+	}
+	if rep.Accuracy != 1 {
+		t.Errorf("accuracy = %v, want 1", rep.Accuracy)
+	}
+}
+
+func TestTrustMSE(t *testing.T) {
+	ref := []float64{0.5, 1.0}
+	est := []float64{1.0, 1.0}
+	if got := TrustMSE(ref, est); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("MSE = %v, want 0.125", got)
+	}
+	if TrustMSE(ref, nil) != 0 {
+		t.Error("nil estimate must yield 0")
+	}
+	// NaN reference entries are skipped.
+	ref2 := []float64{math.NaN(), 0.5}
+	if got := TrustMSE(ref2, []float64{0.9, 0.5}); got != 0 {
+		t.Errorf("MSE = %v, want 0 (NaN skipped, remaining exact)", got)
+	}
+}
+
+func TestTrustMSEPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch should panic")
+		}
+	}()
+	TrustMSE([]float64{1}, []float64{1, 1})
+}
+
+// TestMetricBoundsProperty: all derived metrics live in [0, 1] and accuracy
+// is consistent with the confusion counts for arbitrary matrices.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		for _, m := range []float64{c.Precision(), c.Recall(), c.Accuracy(), c.F1()} {
+			if m < 0 || m > 1 || math.IsNaN(m) {
+				return false
+			}
+		}
+		if c.Evaluated() > 0 {
+			want := float64(c.TP+c.TN) / float64(c.Evaluated())
+			if math.Abs(c.Accuracy()-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

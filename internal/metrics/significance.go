@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math/rand"
+
+	"corroborate/internal/truth"
+)
+
+// PairedPermutationTest estimates the p-value of the null hypothesis that
+// two methods have equal accuracy over the golden set, using a paired sign
+// permutation test on per-fact correctness: for each fact, each method is
+// scored 1 if its prediction matches the label; the observed statistic is
+// the mean difference of scores, and pairs are randomly sign-flipped to
+// build the null distribution. The returned p-value is two-sided.
+//
+// rounds controls the number of permutations (the paper reports p < 0.001;
+// 10,000 rounds resolves that scale). The rng makes results reproducible.
+func PairedPermutationTest(d *truth.Dataset, a, b *truth.Result, rounds int, rng *rand.Rand) float64 {
+	var diffs []int
+	for _, f := range d.Golden() {
+		label := d.Label(f)
+		if label == truth.Unknown {
+			continue
+		}
+		sa, sb := 0, 0
+		if a.Predictions[f] == label {
+			sa = 1
+		}
+		if b.Predictions[f] == label {
+			sb = 1
+		}
+		diffs = append(diffs, sa-sb)
+	}
+	if len(diffs) == 0 || rounds <= 0 {
+		return 1
+	}
+	observed := 0
+	for _, d := range diffs {
+		observed += d
+	}
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	extreme := 0
+	for r := 0; r < rounds; r++ {
+		sum := 0
+		for _, d := range diffs {
+			if d == 0 {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				sum += d
+			} else {
+				sum -= d
+			}
+		}
+		if abs(sum) >= abs(observed) {
+			extreme++
+		}
+	}
+	// Add-one smoothing keeps the estimate strictly positive, as is
+	// standard for Monte Carlo permutation tests.
+	return float64(extreme+1) / float64(rounds+1)
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+// buildBig builds a dataset with n labeled facts alternating true/false.
+func buildBig(n int) *truth.Dataset {
+	b := truth.NewBuilder()
+	b.AddSources("s")
+	for i := 0; i < n; i++ {
+		name := make([]byte, 0, 8)
+		name = append(name, 'f')
+		for x := i; ; x /= 10 {
+			name = append(name, byte('0'+x%10))
+			if x < 10 {
+				break
+			}
+		}
+		f := b.Fact(string(name))
+		b.Vote(f, 0, truth.Affirm)
+		if i%2 == 0 {
+			b.Label(f, truth.True)
+		} else {
+			b.Label(f, truth.False)
+		}
+	}
+	return b.Build()
+}
+
+func TestPermutationTestIdenticalMethods(t *testing.T) {
+	d := buildBig(100)
+	a := truth.NewResult("a", d)
+	b := truth.NewResult("b", d)
+	p := PairedPermutationTest(d, a, b, 500, rand.New(rand.NewSource(1)))
+	if p < 0.9 {
+		t.Errorf("identical predictions must not be significant, p = %v", p)
+	}
+}
+
+func TestPermutationTestClearDifference(t *testing.T) {
+	d := buildBig(400)
+	// a predicts perfectly; b predicts everything true (50% accuracy).
+	a := truth.NewResult("a", d)
+	for f := 0; f < d.NumFacts(); f++ {
+		if d.Label(f) == truth.True {
+			a.FactProb[f] = 1
+		} else {
+			a.FactProb[f] = 0
+		}
+	}
+	a.Finalize()
+	b := truth.NewResult("b", d)
+	p := PairedPermutationTest(d, a, b, 2000, rand.New(rand.NewSource(7)))
+	if p > 0.01 {
+		t.Errorf("perfect vs coin-flip must be significant, p = %v", p)
+	}
+}
+
+func TestPermutationTestDegenerate(t *testing.T) {
+	b := truth.NewBuilder()
+	b.AddSources("s")
+	d := b.Build() // no facts
+	a := truth.NewResult("a", d)
+	c := truth.NewResult("b", d)
+	if p := PairedPermutationTest(d, a, c, 100, rand.New(rand.NewSource(1))); p != 1 {
+		t.Errorf("empty golden set must return p = 1, got %v", p)
+	}
+}

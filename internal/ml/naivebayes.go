@@ -1,0 +1,117 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"corroborate/internal/truth"
+)
+
+// NaiveBayes is a categorical naive-Bayes classifier over the vote
+// features: each source's vote (affirm / deny / silent) is an independent
+// categorical feature given the fact's truth. A third classical Weka-style
+// baseline next to SMO and Logistic; like them it can exploit the missing
+// votes the corroboration methods ignore.
+type NaiveBayes struct {
+	// Smoothing is the Laplace pseudo-count per cell; 0 means 1.
+	Smoothing float64
+
+	classLogPrior [2]float64      // [false, true]
+	logLik        [][2][3]float64 // per feature, class, vote-bucket
+}
+
+// bucket maps a feature value (+1/0/-1) to a categorical index.
+func bucket(v float64) int {
+	switch {
+	case v > 0:
+		return 0 // affirm
+	case v < 0:
+		return 1 // deny
+	default:
+		return 2 // silent
+	}
+}
+
+// Fit implements Classifier.
+func (nb *NaiveBayes) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("ml: naive bayes fit with %d examples, %d labels", len(x), len(y))
+	}
+	alpha := nb.Smoothing
+	if alpha == 0 {
+		alpha = 1
+	}
+	dim := len(x[0])
+	for _, xi := range x {
+		if len(xi) != dim {
+			return fmt.Errorf("ml: inconsistent feature dimensions %d vs %d", len(xi), dim)
+		}
+	}
+	var classCount [2]float64
+	counts := make([][2][3]float64, dim)
+	for i, xi := range x {
+		cls := 0
+		if y[i] > 0 {
+			cls = 1
+		}
+		classCount[cls]++
+		for j, v := range xi {
+			counts[j][cls][bucket(v)]++
+		}
+	}
+	total := classCount[0] + classCount[1]
+	for cls := 0; cls < 2; cls++ {
+		nb.classLogPrior[cls] = math.Log((classCount[cls] + alpha) / (total + 2*alpha))
+	}
+	nb.logLik = make([][2][3]float64, dim)
+	for j := 0; j < dim; j++ {
+		for cls := 0; cls < 2; cls++ {
+			denom := classCount[cls] + 3*alpha
+			for b := 0; b < 3; b++ {
+				nb.logLik[j][cls][b] = math.Log((counts[j][cls][b] + alpha) / denom)
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProb implements Classifier.
+func (nb *NaiveBayes) PredictProb(x []float64) float64 {
+	if nb.logLik == nil {
+		return 0.5
+	}
+	logOdds := nb.classLogPrior[1] - nb.classLogPrior[0]
+	for j, v := range x {
+		if j >= len(nb.logLik) {
+			break
+		}
+		b := bucket(v)
+		logOdds += nb.logLik[j][1][b] - nb.logLik[j][0][b]
+	}
+	return sigmoid(logOdds)
+}
+
+// MLNaiveBayes is the truth.Method wrapper: 10-fold CV over the golden set.
+type MLNaiveBayes struct {
+	// Folds is the cross-validation fold count; 0 means 10.
+	Folds int
+	// Seed drives the fold shuffle.
+	Seed int64
+}
+
+// Name implements truth.Method.
+func (MLNaiveBayes) Name() string { return "ML-NaiveBayes" }
+
+// Run implements truth.Method.
+func (m MLNaiveBayes) Run(d *truth.Dataset) (*truth.Result, error) {
+	folds := m.Folds
+	if folds == 0 {
+		folds = 10
+	}
+	return CrossValidate(m.Name(), d, folds, m.Seed, func() Classifier { return &NaiveBayes{} })
+}
+
+var (
+	_ Classifier   = (*NaiveBayes)(nil)
+	_ truth.Method = MLNaiveBayes{}
+)

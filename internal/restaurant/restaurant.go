@@ -1,0 +1,414 @@
+// Package restaurant simulates the paper's real-world evaluation substrate
+// (Wu & Marian, EDBT 2014, §6.2): a crawl of ~36,916 deduplicated New York
+// restaurant listings from six sources — Yellowpages, Foursquare,
+// Menupages, Opentable, Citysearch and Yelp — with a 601-listing golden set
+// audited in person (340 open, 261 closed).
+//
+// The original crawl (February 2012) is gone: the dataset URL in the paper
+// is dead and the sources cannot be re-crawled offline. This package
+// substitutes a calibrated generative world: each source is parameterized
+// by the coverage and accuracy the paper publishes in Table 3, F votes are
+// restricted to the three sources the paper names with approximately the
+// published counts (Foursquare 10, Menupages 256, Yelp 425; 654 listings
+// with F votes, <2%), and the golden set is sampled the way the paper's
+// in-person audit was: concentrated in a few "zip code" clusters in which
+// listings with F votes and stale listings are over-represented (the audit
+// targeted areas where closures could be verified on foot). DESIGN.md
+// records the substitution in full.
+//
+// Listing probabilities per source are solved from coverage C and accuracy
+// A given the open rate π, exactly as in internal/synth:
+//
+//	P(list | open)   = C·A/π
+//	P(list | closed) = C·(1-A)/(1-π)
+//
+// so that each source covers C of all listings and A of its listings are
+// open. Closed listings carrying F votes are drawn so that flagging
+// sources mark closures they audited while laggard directories still list
+// them — the conflict pattern (Table 1's r6/r12) that drives the paper's
+// Figure 2(b) trust trajectories.
+package restaurant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corroborate/internal/truth"
+)
+
+// Source names in the paper's Table 3 order.
+const (
+	YellowPages = "YellowPages"
+	Foursquare  = "Foursquare"
+	MenuPages   = "MenuPages"
+	OpenTable   = "OpenTable"
+	CitySearch  = "CitySearch"
+	Yelp        = "Yelp"
+)
+
+// profile holds one source's published statistics plus the latent global
+// listing precision used by the simulator. The published accuracy is
+// measured on the audit-biased golden set (which over-samples closures), so
+// the latent global precision sits above it; the calibration tests check
+// that the realized golden-set accuracy lands near the published value.
+type profile struct {
+	name      string
+	coverage  float64 // Table 3, fraction of listings carried
+	accuracy  float64 // Table 3, accuracy over the golden set
+	precision float64 // latent P(open | listed) over the full crawl
+	fVotes    int     // §6.2.1, number of CLOSED marks in the crawl
+}
+
+// paperProfiles is Table 3 plus the published F-vote counts.
+var paperProfiles = []profile{
+	{YellowPages, 0.59, 0.59, 0.78, 0},
+	{Foursquare, 0.24, 0.78, 0.90, 10},
+	{MenuPages, 0.20, 0.93, 0.97, 256},
+	{OpenTable, 0.07, 0.96, 0.98, 0},
+	{CitySearch, 0.50, 0.62, 0.80, 0},
+	{Yelp, 0.35, 0.84, 0.93, 425},
+}
+
+// Config parameterizes the simulated crawl. Zero values reproduce the
+// paper's published statistics.
+type Config struct {
+	// Listings is the number of deduplicated restaurant listings; 0 means
+	// the paper's 36,916.
+	Listings int
+	// OpenRate is the latent fraction of listings still in business;
+	// 0 means 0.82. The golden set's 340/601 open share reflects the
+	// audit's bias toward closure-heavy areas, not the crawl: most of a
+	// 36,916-listing crawl is alive.
+	OpenRate float64
+	// GoldenSize, GoldenTrue set the audited golden set; 0 means the
+	// paper's 601 and 340.
+	GoldenSize, GoldenTrue int
+	// PatternPoolScale divides Listings to size the vote-signature pools
+	// (see internal/synth for the correlation rationale); 0 means 120.
+	PatternPoolScale int
+	// FlaggedStaleRate is the probability a laggard directory still lists
+	// a CLOSED-flagged restaurant; 0 means 0.55. The rate balances two
+	// needs: stale co-listings are what expose the laggards, but a CLOSED
+	// mark must regularly win or tie its conflict (Table 1's r12 and r6
+	// patterns) for corroboration to get a foothold.
+	FlaggedStaleRate float64
+	// GoldenFlaggedShare is the fraction of the golden set's closed
+	// listings drawn from flagged listings, modelling the audit's bias
+	// toward areas with visible closures; 0 means 0.45 (calibrated so
+	// Voting's golden-set precision lands near the paper's 0.65).
+	GoldenFlaggedShare float64
+	// OpenLonerRate is the fraction of open-listing patterns allowed to
+	// lack every quality source (latent precision >= 0.85): an operating
+	// restaurant is usually picked up by a review-driven site, so
+	// laggard-only signatures skew heavily stale. 0 means 0.25.
+	OpenLonerRate float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Listings == 0 {
+		c.Listings = 36916
+	}
+	if c.OpenRate == 0 {
+		c.OpenRate = 0.82
+	}
+	if c.GoldenSize == 0 {
+		c.GoldenSize = 601
+	}
+	if c.GoldenTrue == 0 {
+		c.GoldenTrue = 340
+	}
+	if c.PatternPoolScale == 0 {
+		c.PatternPoolScale = 120
+	}
+	if c.FlaggedStaleRate == 0 {
+		c.FlaggedStaleRate = 0.55
+	}
+	if c.GoldenFlaggedShare == 0 {
+		c.GoldenFlaggedShare = 0.45
+	}
+	if c.OpenLonerRate == 0 {
+		c.OpenLonerRate = 0.25
+	}
+	return c
+}
+
+// World is the simulated crawl: the dataset (with the golden set declared)
+// plus the latent parameters, for calibration tests.
+type World struct {
+	Dataset *truth.Dataset
+	// Profiles are the published per-source statistics the simulation
+	// targets, in source-index order.
+	Profiles []Profile
+	// Open and Closed count the latent truth assignment.
+	Open, Closed int
+	// FlaggedListings is the number of listings carrying at least one
+	// F vote.
+	FlaggedListings int
+}
+
+// Profile is the exported view of a source's target statistics.
+type Profile struct {
+	Name     string
+	Coverage float64
+	Accuracy float64
+	FVotes   int
+}
+
+// Generate builds the simulated restaurant crawl.
+func Generate(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if cfg.OpenRate <= 0 || cfg.OpenRate >= 1 {
+		return nil, fmt.Errorf("restaurant: open rate %v out of (0, 1)", cfg.OpenRate)
+	}
+	if cfg.GoldenTrue > cfg.GoldenSize {
+		return nil, fmt.Errorf("restaurant: golden true %d exceeds golden size %d", cfg.GoldenTrue, cfg.GoldenSize)
+	}
+	if cfg.GoldenSize > cfg.Listings {
+		return nil, fmt.Errorf("restaurant: golden size %d exceeds listings %d", cfg.GoldenSize, cfg.Listings)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pi := cfg.OpenRate
+
+	w := &World{}
+	b := truth.NewBuilder()
+	listOpen := make([]float64, len(paperProfiles))
+	listClosed := make([]float64, len(paperProfiles))
+	fVoteShare := make([]float64, len(paperProfiles))
+	totalFVotes := 0
+	for s, p := range paperProfiles {
+		b.Source(p.name)
+		w.Profiles = append(w.Profiles, Profile{Name: p.name, Coverage: p.coverage, Accuracy: p.accuracy, FVotes: p.fVotes})
+		listOpen[s] = clamp01(p.coverage * p.precision / pi)
+		listClosed[s] = clamp01(p.coverage * (1 - p.precision) / (1 - pi))
+		totalFVotes += p.fVotes
+	}
+	for s, p := range paperProfiles {
+		fVoteShare[s] = float64(p.fVotes) / float64(totalFVotes)
+	}
+
+	// The paper reports 654 flagged listings out of 36,916; scale that
+	// ratio to the configured size.
+	flaggedTarget := int(float64(cfg.Listings) * 654.0 / 36916.0)
+	closedTarget := int(float64(cfg.Listings) * (1 - pi))
+
+	// Pattern pools (see internal/synth for the correlation rationale).
+	nOpenPat := max(cfg.Listings/cfg.PatternPoolScale, 30)
+	nClosedPat := max(cfg.Listings/(2*cfg.PatternPoolScale), 20)
+	// The loner filter below conditions open patterns on containing a
+	// quality source, which would inflate quality sources' realized
+	// coverage; pre-shrink their listing rates to the fixed point that
+	// cancels the conditioning.
+	adjOpen := append([]float64(nil), listOpen...)
+	for iter := 0; iter < 50; iter++ {
+		pNone := 1.0
+		for s, p := range paperProfiles {
+			if p.precision >= 0.85 {
+				pNone *= 1 - adjOpen[s]
+			}
+		}
+		keep := cfg.OpenLonerRate + (1-cfg.OpenLonerRate)*(1-pNone)
+		for s, p := range paperProfiles {
+			if p.precision >= 0.85 {
+				adjOpen[s] = clamp01(listOpen[s] * keep)
+			}
+		}
+	}
+	openPool := samplePool(rng, nOpenPat, func(pat *[]truth.SourceVote) {
+		for s := range paperProfiles {
+			if rng.Float64() < adjOpen[s] {
+				*pat = append(*pat, truth.SourceVote{Source: s, Vote: truth.Affirm})
+			}
+		}
+		// Open restaurants rarely live in laggard directories only;
+		// resample laggard-only patterns most of the time.
+		if !hasQualitySource(*pat) && rng.Float64() >= cfg.OpenLonerRate {
+			*pat = (*pat)[:0]
+		}
+	})
+	closedPool := samplePool(rng, nClosedPat, func(pat *[]truth.SourceVote) {
+		for s := range paperProfiles {
+			if rng.Float64() < listClosed[s] {
+				*pat = append(*pat, truth.SourceVote{Source: s, Vote: truth.Affirm})
+			}
+		}
+	})
+	// Flagged patterns: one flagging source marks CLOSED (drawn by the
+	// published F-vote shares); laggard directories often still list the
+	// restaurant.
+	flaggedPool := samplePool(rng, nClosedPat, func(pat *[]truth.SourceVote) {
+		flagger := pickWeighted(rng, fVoteShare)
+		for s, p := range paperProfiles {
+			if s == flagger {
+				*pat = append(*pat, truth.SourceVote{Source: s, Vote: truth.Deny})
+				continue
+			}
+			rate := listClosed[s]
+			// Laggards: sources with below-average precision keep stale
+			// listings of flagged closures at a high rate.
+			if p.precision < 0.85 && cfg.FlaggedStaleRate > rate {
+				rate = cfg.FlaggedStaleRate
+			}
+			if rng.Float64() < rate {
+				*pat = append(*pat, truth.SourceVote{Source: s, Vote: truth.Affirm})
+			}
+		}
+	})
+
+	flaggedLeft := flaggedTarget
+	closedLeft := closedTarget
+	for f := 0; f < cfg.Listings; f++ {
+		fi := b.Fact(fmt.Sprintf("listing%06d", f))
+		remaining := cfg.Listings - f
+		closed := rng.Float64() < float64(closedLeft)/float64(remaining)
+		if !closed {
+			b.Label(fi, truth.True)
+			w.Open++
+			applyPattern(b, fi, openPool[rng.Intn(len(openPool))])
+			continue
+		}
+		closedLeft--
+		b.Label(fi, truth.False)
+		w.Closed++
+		if flaggedLeft > 0 && rng.Float64() < float64(flaggedTarget)/float64(closedTarget) {
+			flaggedLeft--
+			w.FlaggedListings++
+			applyPattern(b, fi, flaggedPool[rng.Intn(len(flaggedPool))])
+			continue
+		}
+		applyPattern(b, fi, closedPool[rng.Intn(len(closedPool))])
+	}
+
+	golden, err := sampleGolden(rng, b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b.Golden(golden)
+	w.Dataset = b.Build()
+	return w, nil
+}
+
+// hasQualitySource reports whether the pattern contains an affirmative vote
+// from a source with published accuracy of at least 0.7.
+func hasQualitySource(pat []truth.SourceVote) bool {
+	for _, sv := range pat {
+		if sv.Vote == truth.Affirm && paperProfiles[sv.Source].precision >= 0.85 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDeny reports whether the fact carries an F vote.
+func hasDeny(d *truth.Dataset, f int) bool {
+	for _, sv := range d.VotesOnFact(f) {
+		if sv.Vote == truth.Deny {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleGolden mimics the paper's audit: 601 listings from a few zip-code
+// clusters, yielding 340 open and 261 closed listings. The audit targeted
+// areas with visible closures, so flagged listings are over-represented
+// among the closed golden listings (GoldenFlaggedShare of them); the rest
+// of each class is sampled uniformly.
+func sampleGolden(rng *rand.Rand, b *truth.Builder, cfg Config) ([]int, error) {
+	// Builder facts are labeled already; collect per class.
+	d := b.Build()
+	var open, fMajority, closedFlagged, closedPlain []int
+	for f := 0; f < d.NumFacts(); f++ {
+		switch d.Label(f) {
+		case truth.True:
+			open = append(open, f)
+		case truth.False:
+			switch {
+			case denyMajority(d, f):
+				fMajority = append(fMajority, f)
+			case hasDeny(d, f):
+				closedFlagged = append(closedFlagged, f)
+			default:
+				closedPlain = append(closedPlain, f)
+			}
+		}
+	}
+	wantClosed := cfg.GoldenSize - cfg.GoldenTrue
+	wantFlagged := int(float64(wantClosed) * cfg.GoldenFlaggedShare)
+	rng.Shuffle(len(open), func(i, j int) { open[i], open[j] = open[j], open[i] })
+	rng.Shuffle(len(fMajority), func(i, j int) { fMajority[i], fMajority[j] = fMajority[j], fMajority[i] })
+	rng.Shuffle(len(closedFlagged), func(i, j int) { closedFlagged[i], closedFlagged[j] = closedFlagged[j], closedFlagged[i] })
+	rng.Shuffle(len(closedPlain), func(i, j int) { closedPlain[i], closedPlain[j] = closedPlain[j], closedPlain[i] })
+	// The audit visited venues whose CLOSED marks were visible, so
+	// F-majority listings fill the flagged quota first.
+	flagged := append(append([]int(nil), fMajority...), closedFlagged...)
+	if wantFlagged > len(flagged) {
+		wantFlagged = len(flagged)
+	}
+	wantPlain := wantClosed - wantFlagged
+	if len(open) < cfg.GoldenTrue || len(closedPlain) < wantPlain {
+		return nil, fmt.Errorf("restaurant: world too small for golden set (%d open, %d plain closed)", len(open), len(closedPlain))
+	}
+	golden := append([]int(nil), open[:cfg.GoldenTrue]...)
+	golden = append(golden, flagged[:wantFlagged]...)
+	golden = append(golden, closedPlain[:wantPlain]...)
+	return golden, nil
+}
+
+// denyMajority reports whether the fact has at least as many F as T votes.
+func denyMajority(d *truth.Dataset, f int) bool {
+	deny, affirm := 0, 0
+	for _, sv := range d.VotesOnFact(f) {
+		if sv.Vote == truth.Deny {
+			deny++
+		} else {
+			affirm++
+		}
+	}
+	return deny > 0 && deny >= affirm
+}
+
+func samplePool(rng *rand.Rand, n int, fill func(*[]truth.SourceVote)) [][]truth.SourceVote {
+	out := make([][]truth.SourceVote, 0, n)
+	for len(out) < n {
+		var pat []truth.SourceVote
+		for try := 0; try < 64 && len(pat) == 0; try++ {
+			pat = pat[:0]
+			fill(&pat)
+		}
+		if len(pat) == 0 {
+			pat = append(pat, truth.SourceVote{Source: rng.Intn(len(paperProfiles)), Vote: truth.Affirm})
+		}
+		out = append(out, pat)
+	}
+	return out
+}
+
+func applyPattern(b *truth.Builder, f int, pat []truth.SourceVote) {
+	for _, sv := range pat {
+		b.Vote(f, sv.Source, sv.Vote)
+	}
+}
+
+func pickWeighted(rng *rand.Rand, weights []float64) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,67 @@
+// Package score holds the vote-scoring primitives shared by every
+// corroboration algorithm in this repository: the Corrob operation of Eq. 5
+// (a fact's probability is the mean credit of its votes under the sources'
+// trust) and the dual credit a source earns from a corroborated fact.
+package score
+
+import "corroborate/internal/truth"
+
+// VoteCredit is the probability contribution of one vote: a T vote forwards
+// the source's trust, an F vote forwards its complement. Absent votes never
+// reach scoring and are rejected by returning 0.5 (neutral).
+func VoteCredit(v truth.Vote, trust float64) float64 {
+	switch v {
+	case truth.Affirm:
+		return trust
+	case truth.Deny:
+		return 1 - trust
+	default:
+		return 0.5
+	}
+}
+
+// Corrob computes the probability that a fact is true as the average vote
+// credit over its posting list (Eq. 5 generalized to F votes, the scoring
+// the paper borrows from TwoEstimate). A fact with no votes scores 0.5:
+// maximal uncertainty.
+func Corrob(votes []truth.SourceVote, trust []float64) float64 {
+	if len(votes) == 0 {
+		return 0.5
+	}
+	var sum float64
+	for _, sv := range votes {
+		sum += VoteCredit(sv.Vote, trust[sv.Source])
+	}
+	return sum / float64(len(votes))
+}
+
+// SourceCredit is the credit a source earns from a fact whose corroborated
+// probability is prob: prob for a T vote, 1-prob for an F vote. Averaging
+// SourceCredit over a source's evaluated facts yields its trust score.
+func SourceCredit(v truth.Vote, prob float64) float64 {
+	switch v {
+	case truth.Affirm:
+		return prob
+	case truth.Deny:
+		return 1 - prob
+	default:
+		return 0.5
+	}
+}
+
+// Normalize applies the paper's convergence fix (§2.1, §4.2): probabilities
+// at or above the threshold snap to 1, the rest to 0.
+func Normalize(prob float64) float64 {
+	if prob >= truth.Threshold {
+		return 1
+	}
+	return 0
+}
+
+// Fill sets every element of dst to v and returns dst.
+func Fill(dst []float64, v float64) []float64 {
+	for i := range dst {
+		dst[i] = v
+	}
+	return dst
+}

@@ -1,0 +1,57 @@
+package score
+
+import (
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+func benchVotes(n int) ([]truth.SourceVote, []float64) {
+	votes := make([]truth.SourceVote, n)
+	trust := make([]float64, n)
+	for i := range votes {
+		v := truth.Affirm
+		if i%5 == 0 {
+			v = truth.Deny
+		}
+		votes[i] = truth.SourceVote{Source: i, Vote: v}
+		trust[i] = 0.5 + float64(i%50)/100
+	}
+	return votes, trust
+}
+
+func BenchmarkCorrob(b *testing.B) {
+	for _, n := range []int{2, 6, 40} {
+		votes, trust := benchVotes(n)
+		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Corrob(votes, trust)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Normalize(float64(i%100) / 100)
+	}
+	_ = sink
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for n > 0 {
+		pos--
+		buf[pos] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,90 @@
+package score
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"corroborate/internal/truth"
+)
+
+func TestVoteCredit(t *testing.T) {
+	if VoteCredit(truth.Affirm, 0.9) != 0.9 {
+		t.Error("T vote must forward trust")
+	}
+	if math.Abs(VoteCredit(truth.Deny, 0.9)-0.1) > 1e-15 {
+		t.Error("F vote must forward 1-trust")
+	}
+	if VoteCredit(truth.Absent, 0.9) != 0.5 {
+		t.Error("absent vote must be neutral")
+	}
+}
+
+func TestCorrob(t *testing.T) {
+	trust := []float64{1, 0.8, 0.5}
+	votes := []truth.SourceVote{
+		{Source: 0, Vote: truth.Affirm}, // 1
+		{Source: 1, Vote: truth.Deny},   // 0.2
+		{Source: 2, Vote: truth.Affirm}, // 0.5
+	}
+	want := (1 + 0.2 + 0.5) / 3
+	if got := Corrob(votes, trust); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Corrob = %v, want %v", got, want)
+	}
+	if Corrob(nil, trust) != 0.5 {
+		t.Error("voteless fact must score 0.5")
+	}
+}
+
+func TestSourceCredit(t *testing.T) {
+	if SourceCredit(truth.Affirm, 0.7) != 0.7 {
+		t.Error("T vote credit must equal prob")
+	}
+	if math.Abs(SourceCredit(truth.Deny, 0.7)-0.3) > 1e-15 {
+		t.Error("F vote credit must equal 1-prob")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(0.5) != 1 {
+		t.Error("threshold probability normalizes to 1 (>= rule)")
+	}
+	if Normalize(0.499999) != 0 {
+		t.Error("sub-threshold probability normalizes to 0")
+	}
+}
+
+func TestCorrobBoundsProperty(t *testing.T) {
+	// Corrob of any vote pattern under trusts in [0,1] stays in [0,1], and
+	// flipping every vote mirrors the probability around 0.5.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		trust := make([]float64, len(raw))
+		votes := make([]truth.SourceVote, len(raw))
+		flipped := make([]truth.SourceVote, len(raw))
+		for i, b := range raw {
+			trust[i] = float64(b) / 255
+			v := truth.Affirm
+			if b%2 == 1 {
+				v = truth.Deny
+			}
+			votes[i] = truth.SourceVote{Source: i, Vote: v}
+			fv := truth.Affirm
+			if v == truth.Affirm {
+				fv = truth.Deny
+			}
+			flipped[i] = truth.SourceVote{Source: i, Vote: fv}
+		}
+		p := Corrob(votes, trust)
+		q := Corrob(flipped, trust)
+		if p < 0 || p > 1 {
+			return false
+		}
+		return math.Abs((p+q)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package synth generates the synthetic corroboration workloads of Wu &
+// Marian (EDBT 2014, §6.3.1): boolean facts with a hidden truth assignment
+// and a mix of accurate and inaccurate sources whose affirmative listings
+// and rare CLOSED-style F votes follow the paper's generative model.
+//
+// Paper model. Every source s carries a trust score σ(s) and coverage c(s):
+//
+//   - accurate sources draw σ(s) uniformly from [0.7, 1.0] and additionally
+//     carry a probability m(s) ~ U[0, 0.5] of casting an F vote for a false
+//     fact;
+//   - inaccurate sources draw σ(s) uniformly from [0.5, 0.7] and never cast
+//     F votes;
+//   - coverage follows Eq. 11, c(s) = 1 - σ(s) + 0.2·U[0, 1], so inaccurate
+//     sources see more facts than accurate ones (the Yellowpages effect);
+//   - a factor η bounds the fraction of facts that can receive F votes.
+//
+// The paper does not spell out how a source's σ(s) turns into votes. Two
+// modelling choices, both documented in DESIGN.md, fill the gap:
+//
+// Precision-centric listings. σ(s) is read as the precision of the source's
+// listings (the paper defines the trust score as the source's precision,
+// §3.1): P(fact true | s lists it) = σ(s). Listing probabilities per truth
+// value are solved from the coverage and the truth rate π:
+//
+//	P(s lists f | f true)  = c(s)·σ(s)/π
+//	P(s lists f | f false) = c(s)·(1-σ(s))·stale(s)/(1-π)
+//
+// where stale(s) is the share of the source's errors that materialize as
+// stale affirmative listings of false facts (the rest are silent omissions
+// of true facts — an error mode invisible in an affirmative-only crawl).
+// Inaccurate sources' errors are all stale listings (stale = 1, the
+// Yellowpages behaviour that motivates the paper); accurate sources' errors
+// are mostly omissions (stale = AccurateStaleShare, default 0.35).
+//
+// Pattern-pool correlation. Real crawls do not produce independent votes:
+// popular restaurants appear everywhere, stale chains linger in the same
+// laggard directories, and CLOSED flags come from whichever source audited
+// a neighbourhood. Votes are therefore drawn per *pattern*, not per fact: a
+// pool of true-fact and false-fact vote signatures is sampled from the
+// per-source listing model above, and each fact adopts one pattern from its
+// pool. Per-source marginals (coverage, precision) are preserved in
+// expectation while fact groups (identical signatures, §5.1) become large —
+// the group-size regime in which the paper's Figure 2(b) trajectories live.
+// Every pattern is non-empty: facts exist in the dataset because at least
+// one source lists them, as in the restaurant crawl.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"corroborate/internal/truth"
+)
+
+// Config parameterizes the generator. Zero values select the paper's
+// defaults.
+type Config struct {
+	// Facts is the number of facts; 0 means the paper's 20,000.
+	Facts int
+	// AccurateSources and InaccurateSources set the source mix. Figure 3(a)
+	// varies the total with InaccurateSources fixed at 2; Figure 3(b) fixes
+	// the total at 10 and varies InaccurateSources.
+	AccurateSources   int
+	InaccurateSources int
+	// Eta is the fraction of facts eligible for F votes; 0 means 0.05
+	// (the top of Figure 3(c)'s sweep).
+	Eta float64
+	// TruthRate is the probability a fact is true; 0 means 0.5 ("randomly
+	// assign a correct value of either true or false").
+	TruthRate float64
+	// TruePatterns and FalsePatterns size the vote-signature pools; 0 means
+	// max(Facts/150, 40) and max(Facts/250, 25) respectively.
+	TruePatterns  int
+	FalsePatterns int
+	// AccurateStaleShare is the share of an accurate source's errors that
+	// appear as stale listings (vs silent omissions); 0 means 0.35.
+	AccurateStaleShare float64
+	// TrueLonerRate is the fraction of true-fact patterns allowed to lack
+	// every accurate source; 0 means 0.25.
+	TrueLonerRate float64
+	// FlaggedStaleRate is the probability that an inaccurate source still
+	// lists a fact that carries CLOSED flags; 0 means 0.85. A CLOSED mark
+	// is newsworthy precisely because laggard directories still list the
+	// place, so this rate sits well above the generic stale-listing rate —
+	// it is what lets the incremental algorithm catch inaccurate sources
+	// red-handed (the r12 effect in the paper's walk-through).
+	FlaggedStaleRate float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Facts == 0 {
+		c.Facts = 20000
+	}
+	if c.Eta == 0 {
+		c.Eta = 0.05
+	}
+	if c.TruthRate == 0 {
+		c.TruthRate = 0.5
+	}
+	if c.TruePatterns == 0 {
+		c.TruePatterns = max(c.Facts/150, 40)
+	}
+	if c.FalsePatterns == 0 {
+		c.FalsePatterns = max(c.Facts/250, 25)
+	}
+	if c.AccurateStaleShare == 0 {
+		c.AccurateStaleShare = 0.35
+	}
+	if c.TrueLonerRate == 0 {
+		c.TrueLonerRate = 0.25
+	}
+	if c.FlaggedStaleRate == 0 {
+		c.FlaggedStaleRate = 0.85
+	}
+	return c
+}
+
+// SourceParams records the latent parameters drawn for one source.
+type SourceParams struct {
+	Name     string
+	Accurate bool
+	// Trust is the drawn σ(s).
+	Trust float64
+	// Coverage is c(s) from Eq. 11, clamped to [0, 1].
+	Coverage float64
+	// FVoteProb is m(s); 0 for inaccurate sources.
+	FVoteProb float64
+}
+
+// World is a generated synthetic dataset along with its latent parameters,
+// useful for validating the generator and for trust-MSE references.
+type World struct {
+	Dataset *truth.Dataset
+	Sources []SourceParams
+	// TrueFacts and FalseFacts count the hidden truth assignment.
+	TrueFacts, FalseFacts int
+	// FEligible is the number of facts designated eligible for F votes.
+	FEligible int
+}
+
+// pattern is one reusable vote signature.
+type pattern struct {
+	votes []truth.SourceVote
+}
+
+// Generate builds a synthetic world from the configuration. The same
+// configuration (including Seed) always produces the same dataset.
+func Generate(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if cfg.AccurateSources < 0 || cfg.InaccurateSources < 0 {
+		return nil, fmt.Errorf("synth: negative source counts")
+	}
+	if cfg.AccurateSources+cfg.InaccurateSources == 0 {
+		return nil, fmt.Errorf("synth: no sources configured")
+	}
+	if cfg.Eta < 0 || cfg.Eta > 1 {
+		return nil, fmt.Errorf("synth: eta %v out of [0, 1]", cfg.Eta)
+	}
+	if cfg.TruthRate <= 0 || cfg.TruthRate >= 1 {
+		return nil, fmt.Errorf("synth: truth rate %v out of (0, 1)", cfg.TruthRate)
+	}
+	if cfg.AccurateStaleShare < 0 || cfg.AccurateStaleShare > 1 {
+		return nil, fmt.Errorf("synth: stale share %v out of [0, 1]", cfg.AccurateStaleShare)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	w := &World{}
+	b := truth.NewBuilder()
+	for i := 0; i < cfg.AccurateSources; i++ {
+		p := SourceParams{
+			Name:      fmt.Sprintf("accurate%02d", i),
+			Accurate:  true,
+			Trust:     0.7 + 0.3*rng.Float64(),
+			FVoteProb: 0.5 * rng.Float64(),
+		}
+		p.Coverage = clamp01(1 - p.Trust + 0.2*rng.Float64())
+		w.Sources = append(w.Sources, p)
+		b.Source(p.Name)
+	}
+	for i := 0; i < cfg.InaccurateSources; i++ {
+		p := SourceParams{
+			Name:  fmt.Sprintf("inaccurate%02d", i),
+			Trust: 0.5 + 0.2*rng.Float64(),
+		}
+		p.Coverage = clamp01(1 - p.Trust + 0.2*rng.Float64())
+		w.Sources = append(w.Sources, p)
+		b.Source(p.Name)
+	}
+
+	// Per-source listing probabilities for true and false facts.
+	pi := cfg.TruthRate
+	listTrue := make([]float64, len(w.Sources))
+	listFalse := make([]float64, len(w.Sources))
+	for s, p := range w.Sources {
+		stale := 1.0
+		if p.Accurate {
+			stale = cfg.AccurateStaleShare
+		}
+		listTrue[s] = clamp01(p.Coverage * p.Trust / pi)
+		listFalse[s] = clamp01(p.Coverage * (1 - p.Trust) * stale / (1 - pi))
+	}
+
+	// Sample the pattern pools. Every pattern must contain at least one
+	// vote — facts exist because somebody lists them.
+	hasAccurate := func(votes []truth.SourceVote) bool {
+		for _, sv := range votes {
+			if w.Sources[sv.Source].Accurate {
+				return true
+			}
+		}
+		return false
+	}
+	// The loner filter below conditions true patterns on containing an
+	// accurate source, which would inflate accurate sources' realized
+	// coverage; pre-shrink their listing rates to the fixed point that
+	// cancels the conditioning.
+	adjTrue := append([]float64(nil), listTrue...)
+	if cfg.AccurateSources > 0 {
+		for iter := 0; iter < 50; iter++ {
+			pNone := 1.0
+			for s, p := range w.Sources {
+				if p.Accurate {
+					pNone *= 1 - adjTrue[s]
+				}
+			}
+			keep := cfg.TrueLonerRate + (1-cfg.TrueLonerRate)*(1-pNone)
+			for s, p := range w.Sources {
+				if p.Accurate {
+					adjTrue[s] = clamp01(listTrue[s] * keep)
+				}
+			}
+		}
+	}
+	truePool := samplePatterns(rng, cfg.TruePatterns, len(w.Sources), func(pat *pattern) {
+		for s := range w.Sources {
+			if rng.Float64() < adjTrue[s] {
+				pat.votes = append(pat.votes, truth.SourceVote{Source: s, Vote: truth.Affirm})
+			}
+		}
+		// A genuinely true fact is rarely carried by inaccurate sources
+		// alone (somebody reliable picks it up); resample most
+		// inaccurate-only patterns. With no accurate sources configured
+		// the filter is moot.
+		if cfg.AccurateSources > 0 && !hasAccurate(pat.votes) && rng.Float64() >= cfg.TrueLonerRate {
+			pat.votes = pat.votes[:0]
+		}
+	})
+	// False patterns come in two flavours: plain stale-listing patterns
+	// and F-eligible patterns that may also carry CLOSED marks from
+	// accurate sources.
+	staleOnly := samplePatterns(rng, cfg.FalsePatterns, len(w.Sources), func(pat *pattern) {
+		for s := range w.Sources {
+			if rng.Float64() < listFalse[s] {
+				pat.votes = append(pat.votes, truth.SourceVote{Source: s, Vote: truth.Affirm})
+			}
+		}
+	})
+	flagged := samplePatterns(rng, cfg.FalsePatterns, len(w.Sources), func(pat *pattern) {
+		for s, p := range w.Sources {
+			// m(s) is the paper's per-source probability of casting an F
+			// vote for a false fact (applied to the η-eligible ones).
+			if p.FVoteProb > 0 && rng.Float64() < p.FVoteProb {
+				pat.votes = append(pat.votes, truth.SourceVote{Source: s, Vote: truth.Deny})
+				continue
+			}
+			rate := listFalse[s]
+			if !p.Accurate && cfg.FlaggedStaleRate > rate {
+				rate = cfg.FlaggedStaleRate
+			}
+			if rng.Float64() < rate {
+				pat.votes = append(pat.votes, truth.SourceVote{Source: s, Vote: truth.Affirm})
+			}
+		}
+	})
+
+	eligibleProb := clamp01(cfg.Eta / (1 - pi))
+	for f := 0; f < cfg.Facts; f++ {
+		fi := b.Fact(fmt.Sprintf("fact%06d", f))
+		if rng.Float64() < pi {
+			b.Label(fi, truth.True)
+			w.TrueFacts++
+			apply(b, fi, truePool[rng.Intn(len(truePool))])
+			continue
+		}
+		b.Label(fi, truth.False)
+		w.FalseFacts++
+		pool := staleOnly
+		if rng.Float64() < eligibleProb {
+			w.FEligible++
+			pool = flagged
+		}
+		apply(b, fi, pool[rng.Intn(len(pool))])
+	}
+	w.Dataset = b.Build()
+	return w, nil
+}
+
+// samplePatterns draws n non-empty patterns using fill; empty draws are
+// retried (a pattern that lists nothing corresponds to a fact no source
+// carries, which cannot appear in an affirmative crawl). If the listing
+// model makes non-empty draws vanishingly rare — degenerate configurations
+// such as a single perfect source — a lone affirmative vote from a random
+// source is forced so generation always terminates.
+func samplePatterns(rng *rand.Rand, n int, sources int, fill func(*pattern)) []pattern {
+	out := make([]pattern, 0, n)
+	for len(out) < n {
+		var pat pattern
+		for try := 0; try < 64; try++ {
+			pat.votes = pat.votes[:0]
+			fill(&pat)
+			if len(pat.votes) > 0 {
+				break
+			}
+		}
+		if len(pat.votes) == 0 {
+			pat.votes = append(pat.votes, truth.SourceVote{Source: rng.Intn(sources), Vote: truth.Affirm})
+		}
+		out = append(out, pat)
+	}
+	return out
+}
+
+func apply(b *truth.Builder, f int, pat pattern) {
+	for _, sv := range pat.votes {
+		b.Vote(f, sv.Source, sv.Vote)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

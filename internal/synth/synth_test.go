@@ -1,0 +1,206 @@
+package synth
+
+import (
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	w, err := Generate(Config{AccurateSources: 8, InaccurateSources: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Dataset
+	if d.NumFacts() != 20000 {
+		t.Errorf("facts = %d, want 20000", d.NumFacts())
+	}
+	if d.NumSources() != 10 {
+		t.Errorf("sources = %d, want 10", d.NumSources())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.TrueFacts+w.FalseFacts != d.NumFacts() {
+		t.Error("truth assignment does not cover all facts")
+	}
+	// Balanced truth rate within sampling noise.
+	rate := float64(w.TrueFacts) / float64(d.NumFacts())
+	if rate < 0.47 || rate > 0.53 {
+		t.Errorf("truth rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []Config{
+		{},
+		{AccurateSources: -1, InaccurateSources: 2},
+		{AccurateSources: 1, Eta: 1.5},
+		{AccurateSources: 1, TruthRate: -0.1},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: Generate should fail", i)
+		}
+	}
+}
+
+func TestSourceParameterRanges(t *testing.T) {
+	w, err := Generate(Config{Facts: 100, AccurateSources: 20, InaccurateSources: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range w.Sources {
+		if p.Accurate {
+			if p.Trust < 0.7 || p.Trust > 1.0 {
+				t.Errorf("accurate trust %v out of [0.7, 1.0]", p.Trust)
+			}
+			if p.FVoteProb < 0 || p.FVoteProb > 0.5 {
+				t.Errorf("m(s) = %v out of [0, 0.5]", p.FVoteProb)
+			}
+		} else {
+			if p.Trust < 0.5 || p.Trust > 0.7 {
+				t.Errorf("inaccurate trust %v out of [0.5, 0.7]", p.Trust)
+			}
+			if p.FVoteProb != 0 {
+				t.Error("inaccurate sources must not carry F-vote probability")
+			}
+		}
+		// Eq. 11 bounds: c(s) in [1-σ, 1-σ+0.2], clamped.
+		lo, hi := 1-p.Trust, 1-p.Trust+0.2
+		if p.Coverage < lo-1e-12 || p.Coverage > hi+1e-12 {
+			t.Errorf("coverage %v outside Eq.11 band [%v, %v]", p.Coverage, lo, hi)
+		}
+	}
+}
+
+func TestObservedAccuracyShape(t *testing.T) {
+	// The precision-centric model makes a source's observed vote accuracy
+	// track its drawn σ(s) loosely: the stale-listing boost on flagged
+	// facts and the loner filter shift it a little, but accurate sources
+	// must stay clearly more accurate than inaccurate ones and every
+	// inaccurate source must remain a plausible "positive-ish" source
+	// (accuracy well above a coin flip on its own listings is NOT
+	// guaranteed — the whole point of the paper is that its listings
+	// skew stale — but it must not collapse to near zero).
+	w, err := Generate(Config{Facts: 20000, AccurateSources: 5, InaccurateSources: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := truth.TrueAccuracy(w.Dataset)
+	var accSum, inaccSum float64
+	var accN, inaccN int
+	for s, p := range w.Sources {
+		if p.Accurate {
+			accSum += acc[s]
+			accN++
+			if acc[s] < 0.6 {
+				t.Errorf("accurate source %s observed accuracy %v too low", p.Name, acc[s])
+			}
+		} else {
+			inaccSum += acc[s]
+			inaccN++
+			if acc[s] < 0.3 || acc[s] > 0.8 {
+				t.Errorf("inaccurate source %s observed accuracy %v out of band", p.Name, acc[s])
+			}
+		}
+	}
+	if accSum/float64(accN) <= inaccSum/float64(inaccN)+0.1 {
+		t.Errorf("accurate sources (%v) must be clearly more accurate than inaccurate ones (%v)",
+			accSum/float64(accN), inaccSum/float64(inaccN))
+	}
+}
+
+func TestObservedCoverageShape(t *testing.T) {
+	// Eq. 11 makes inaccurate sources (low σ) cover more facts than
+	// accurate ones; the realized vote coverage must preserve that shape.
+	w, err := Generate(Config{Facts: 20000, AccurateSources: 5, InaccurateSources: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := truth.ComputeStats(w.Dataset)
+	var accCov, inaccCov float64
+	var accN, inaccN int
+	for s, p := range w.Sources {
+		if st.Coverage[s] <= 0 || st.Coverage[s] > 1 {
+			t.Errorf("source %s: coverage %v out of range", p.Name, st.Coverage[s])
+		}
+		if p.Accurate {
+			accCov += st.Coverage[s]
+			accN++
+		} else {
+			inaccCov += st.Coverage[s]
+			inaccN++
+		}
+	}
+	if inaccCov/float64(inaccN) <= accCov/float64(accN) {
+		t.Errorf("inaccurate sources must out-cover accurate ones: %v vs %v",
+			inaccCov/float64(inaccN), accCov/float64(accN))
+	}
+}
+
+func TestEtaBoundsFVotes(t *testing.T) {
+	for _, eta := range []float64{0.01, 0.03, 0.05} {
+		w, err := Generate(Config{Facts: 20000, AccurateSources: 8, InaccurateSources: 2, Eta: eta, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := truth.ComputeStats(w.Dataset)
+		frac := float64(st.FactsWithDeny) / float64(w.Dataset.NumFacts())
+		if frac > eta {
+			t.Errorf("eta=%v: %v of facts carry F votes, must be <= eta", eta, frac)
+		}
+		// Eligibility is drawn from false facts only at rate eta.
+		if w.FEligible > w.FalseFacts {
+			t.Error("more eligible facts than false facts")
+		}
+		// Inaccurate sources never cast F votes.
+		for s, p := range w.Sources {
+			if !p.Accurate && st.DenyCount[s] > 0 {
+				t.Errorf("inaccurate source %s cast %d F votes", p.Name, st.DenyCount[s])
+			}
+		}
+	}
+}
+
+func TestMostFactsAffirmativeOnly(t *testing.T) {
+	// The paper's scenario: |F*| >> |F - F*|.
+	w, err := Generate(Config{AccurateSources: 8, InaccurateSources: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := w.Dataset.AffirmativeShare(); share < 0.9 {
+		t.Errorf("affirmative-only share = %v, want > 0.9", share)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Facts: 500, AccurateSources: 4, InaccurateSources: 2, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.NumVotes() != b.Dataset.NumVotes() {
+		t.Fatal("vote counts differ across identical runs")
+	}
+	for f := 0; f < a.Dataset.NumFacts(); f++ {
+		if a.Dataset.Signature(f) != b.Dataset.Signature(f) {
+			t.Fatalf("fact %d signature differs", f)
+		}
+		if a.Dataset.Label(f) != b.Dataset.Label(f) {
+			t.Fatalf("fact %d label differs", f)
+		}
+	}
+	c, err := Generate(Config{Facts: 500, AccurateSources: 4, InaccurateSources: 2, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.NumVotes() == c.Dataset.NumVotes() && a.Dataset.Signature(0) == c.Dataset.Signature(0) &&
+		a.Dataset.Signature(1) == c.Dataset.Signature(1) && a.Dataset.Signature(2) == c.Dataset.Signature(2) {
+		t.Error("different seeds produced suspiciously identical datasets")
+	}
+}

@@ -1,0 +1,159 @@
+package truth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates sources, facts, votes, and labels and produces an
+// immutable Dataset. The zero value is ready to use.
+//
+// Votes may be added in any order; Build sorts posting lists. Adding a vote
+// for a (fact, source) pair that already has one overwrites the earlier vote
+// (last writer wins), which makes builders convenient for layered dataset
+// construction (e.g. a simulator first listing a restaurant and later
+// marking it CLOSED).
+type Builder struct {
+	sourceNames []string
+	sourceIdx   map[string]int
+	factNames   []string
+	factIdx     map[string]int
+	labels      []Label
+	golden      []int
+
+	// votes[f] maps source index -> vote.
+	votes []map[int]Vote
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		sourceIdx: make(map[string]int),
+		factIdx:   make(map[string]int),
+	}
+}
+
+// Source interns a source by name and returns its index.
+func (b *Builder) Source(name string) int {
+	if i, ok := b.sourceIdx[name]; ok {
+		return i
+	}
+	i := len(b.sourceNames)
+	b.sourceNames = append(b.sourceNames, name)
+	b.sourceIdx[name] = i
+	return i
+}
+
+// Fact interns a fact by name and returns its index. New facts start with
+// an Unknown label.
+func (b *Builder) Fact(name string) int {
+	if i, ok := b.factIdx[name]; ok {
+		return i
+	}
+	i := len(b.factNames)
+	b.factNames = append(b.factNames, name)
+	b.factIdx[name] = i
+	b.labels = append(b.labels, Unknown)
+	b.votes = append(b.votes, nil)
+	return i
+}
+
+// AddSources interns several sources at once.
+func (b *Builder) AddSources(names ...string) {
+	for _, n := range names {
+		b.Source(n)
+	}
+}
+
+// AddFacts interns several facts at once.
+func (b *Builder) AddFacts(names ...string) {
+	for _, n := range names {
+		b.Fact(n)
+	}
+}
+
+// Vote records source s's vote on fact f. Recording Absent removes any
+// earlier vote. Indices must come from Source/Fact (or be in range).
+func (b *Builder) Vote(f, s int, v Vote) {
+	if f < 0 || f >= len(b.factNames) {
+		panic(fmt.Sprintf("truth: fact index %d out of range", f))
+	}
+	if s < 0 || s >= len(b.sourceNames) {
+		panic(fmt.Sprintf("truth: source index %d out of range", s))
+	}
+	if !v.Valid() {
+		panic(fmt.Sprintf("truth: invalid vote %d", int8(v)))
+	}
+	if v == Absent {
+		delete(b.votes[f], s)
+		return
+	}
+	if b.votes[f] == nil {
+		b.votes[f] = make(map[int]Vote, 4)
+	}
+	b.votes[f][s] = v
+}
+
+// VoteNamed records a vote by source and fact name, interning both.
+func (b *Builder) VoteNamed(fact, source string, v Vote) {
+	b.Vote(b.Fact(fact), b.Source(source), v)
+}
+
+// Label sets the ground-truth label of fact f.
+func (b *Builder) Label(f int, l Label) {
+	if !l.Valid() {
+		panic(fmt.Sprintf("truth: invalid label %d", int8(l)))
+	}
+	b.labels[f] = l
+}
+
+// LabelNamed sets the ground-truth label of a fact by name, interning it.
+func (b *Builder) LabelNamed(fact string, l Label) { b.Label(b.Fact(fact), l) }
+
+// Golden declares the explicit golden evaluation subset. Passing nil keeps
+// the default behaviour (all labeled facts are evaluated).
+func (b *Builder) Golden(facts []int) {
+	b.golden = append([]int(nil), facts...)
+}
+
+// NumFacts returns the number of facts interned so far.
+func (b *Builder) NumFacts() int { return len(b.factNames) }
+
+// NumSources returns the number of sources interned so far.
+func (b *Builder) NumSources() int { return len(b.sourceNames) }
+
+// Build freezes the builder into a Dataset. The Builder remains usable;
+// subsequent mutations do not affect the returned Dataset.
+func (b *Builder) Build() *Dataset {
+	d := &Dataset{
+		sourceNames: append([]string(nil), b.sourceNames...),
+		factNames:   append([]string(nil), b.factNames...),
+		labels:      append([]Label(nil), b.labels...),
+		factVotes:   make([][]SourceVote, len(b.factNames)),
+		sourceVotes: make([][]FactVote, len(b.sourceNames)),
+	}
+	if b.golden != nil {
+		d.golden = append([]int(nil), b.golden...)
+		sort.Ints(d.golden)
+	}
+	for f, m := range b.votes {
+		if len(m) == 0 {
+			continue
+		}
+		list := make([]SourceVote, 0, len(m))
+		for s, v := range m {
+			list = append(list, SourceVote{Source: s, Vote: v})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Source < list[j].Source })
+		d.factVotes[f] = list
+		d.votes += len(list)
+	}
+	for f, list := range d.factVotes {
+		for _, sv := range list {
+			d.sourceVotes[sv.Source] = append(d.sourceVotes[sv.Source], FactVote{Fact: f, Vote: sv.Vote})
+		}
+	}
+	// Fact posting lists are visited in increasing fact order, so the
+	// source-orientation lists are already sorted by fact index.
+	return d
+}

@@ -1,0 +1,89 @@
+package truth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets run their seed corpus under plain `go test`; use
+// `go test -fuzz FuzzReadCSV ./internal/truth` for open-ended fuzzing.
+
+func FuzzParseVote(f *testing.F) {
+	for _, seed := range []string{"T", "F", "-", "", "true", "x", "  t  ", "０"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVote(s)
+		if err == nil && !v.Valid() {
+			t.Fatalf("ParseVote(%q) returned invalid vote %d without error", s, int8(v))
+		}
+	})
+}
+
+func FuzzParseLabel(f *testing.F) {
+	for _, seed := range []string{"true", "false", "unknown", "", "T", "maybe"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ParseLabel(s)
+		if err == nil && !l.Valid() {
+			t.Fatalf("ParseLabel(%q) returned invalid label %d without error", s, int8(l))
+		}
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, MotivatingExample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("fact,s1\nr1,T\n")
+	f.Add("fact,s1,label,golden\nr1,F,false,1\n")
+	f.Add("")
+	f.Add("fact,s1\nr1")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return // malformed input may fail, but must not panic
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ReadCSV accepted input producing an invalid dataset: %v", verr)
+		}
+		// Round trip: anything accepted must survive re-serialization.
+		var out bytes.Buffer
+		if werr := WriteCSV(&out, d); werr != nil {
+			t.Fatalf("WriteCSV on accepted dataset: %v", werr)
+		}
+		again, rerr := ReadCSV(&out)
+		if rerr != nil {
+			t.Fatalf("round trip failed to parse: %v", rerr)
+		}
+		if again.NumFacts() != d.NumFacts() || again.NumVotes() != d.NumVotes() {
+			t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)",
+				again.NumFacts(), again.NumVotes(), d.NumFacts(), d.NumVotes())
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, MotivatingExample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"sources": [], "facts": []}`)
+	f.Add(`{"facts": [{"name": "x", "votes": {"a": "T"}}]}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ReadJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted input producing an invalid dataset: %v", verr)
+		}
+	})
+}

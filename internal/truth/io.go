@@ -1,0 +1,174 @@
+package truth
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Dataset file format (CSV)
+//
+// The first row is a header: "fact", one column per source name, and two
+// optional trailing columns "label" and "golden". Each subsequent row holds
+// one fact: its name, its vote from each source in the paper's T/F/-
+// notation, optionally its ground-truth label, and optionally a "1"/"0" flag
+// marking membership in the golden evaluation set. Example:
+//
+//	fact,s1,s2,s3,label,golden
+//	r1,T,-,T,true,1
+//	r2,-,F,T,false,0
+//
+// WriteCSV always writes both trailing columns; ReadCSV accepts files with
+// either, both, or neither.
+
+// WriteCSV serializes the dataset in the documented CSV format.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"fact"}, d.SourceNames()...)
+	header = append(header, "label", "golden")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("truth: writing CSV header: %w", err)
+	}
+	golden := make(map[int]bool)
+	if d.HasGolden() {
+		for _, f := range d.Golden() {
+			golden[f] = true
+		}
+	}
+	row := make([]string, len(header))
+	for f := 0; f < d.NumFacts(); f++ {
+		row[0] = d.FactName(f)
+		for s := 0; s < d.NumSources(); s++ {
+			row[1+s] = Absent.String()
+		}
+		for _, sv := range d.VotesOnFact(f) {
+			row[1+sv.Source] = sv.Vote.String()
+		}
+		row[len(row)-2] = d.Label(f).String()
+		g := "0"
+		if d.HasGolden() {
+			if golden[f] {
+				g = "1"
+			}
+		} else if d.Label(f) != Unknown {
+			g = "1"
+		}
+		row[len(row)-1] = g
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("truth: writing CSV row for fact %q: %w", d.FactName(f), err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset in the documented CSV format.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("truth: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || strings.ToLower(strings.TrimSpace(header[0])) != "fact" {
+		return nil, fmt.Errorf("truth: CSV header must start with \"fact\" and at least one source column")
+	}
+	cols := header[1:]
+	hasGolden := len(cols) > 0 && strings.EqualFold(cols[len(cols)-1], "golden")
+	if hasGolden {
+		cols = cols[:len(cols)-1]
+	}
+	hasLabel := len(cols) > 0 && strings.EqualFold(cols[len(cols)-1], "label")
+	if hasLabel {
+		cols = cols[:len(cols)-1]
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("truth: CSV header declares no source columns")
+	}
+	b := NewBuilder()
+	b.AddSources(cols...)
+	var golden []int
+	useGoldenCol := false
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("truth: reading CSV line %d: %w", line, err)
+		}
+		want := 1 + len(cols)
+		if hasLabel {
+			want++
+		}
+		if hasGolden {
+			want++
+		}
+		if len(rec) != want {
+			return nil, fmt.Errorf("truth: CSV line %d has %d fields, want %d", line, len(rec), want)
+		}
+		f := b.Fact(rec[0])
+		for s := 0; s < len(cols); s++ {
+			v, err := ParseVote(rec[1+s])
+			if err != nil {
+				return nil, fmt.Errorf("truth: CSV line %d column %q: %w", line, cols[s], err)
+			}
+			if v != Absent {
+				b.Vote(f, s, v)
+			}
+		}
+		next := 1 + len(cols)
+		if hasLabel {
+			l, err := ParseLabel(rec[next])
+			if err != nil {
+				return nil, fmt.Errorf("truth: CSV line %d label: %w", line, err)
+			}
+			b.Label(f, l)
+			next++
+		}
+		if hasGolden {
+			switch strings.TrimSpace(rec[next]) {
+			case "1", "true", "t":
+				golden = append(golden, f)
+				useGoldenCol = true
+			case "0", "false", "f", "":
+			default:
+				return nil, fmt.Errorf("truth: CSV line %d golden flag %q", line, rec[next])
+			}
+		}
+	}
+	if useGoldenCol {
+		b.Golden(golden)
+	}
+	return b.Build(), nil
+}
+
+// SaveCSV writes the dataset to a file, creating or truncating it.
+func SaveCSV(path string, d *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("truth: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteCSV(f, d)
+}
+
+// LoadCSV reads a dataset from a file.
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("truth: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	d, err := ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("truth: parsing %s: %w", path, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,128 @@
+package truth
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := MotivatingExample()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func assertDatasetsEqual(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.NumSources() != want.NumSources() || got.NumFacts() != want.NumFacts() || got.NumVotes() != want.NumVotes() {
+		t.Fatalf("shape mismatch: got (%d,%d,%d), want (%d,%d,%d)",
+			got.NumSources(), got.NumFacts(), got.NumVotes(),
+			want.NumSources(), want.NumFacts(), want.NumVotes())
+	}
+	for f := 0; f < want.NumFacts(); f++ {
+		if got.FactName(f) != want.FactName(f) {
+			t.Fatalf("fact %d name %q, want %q", f, got.FactName(f), want.FactName(f))
+		}
+		if got.Label(f) != want.Label(f) {
+			t.Errorf("fact %d label %v, want %v", f, got.Label(f), want.Label(f))
+		}
+		for s := 0; s < want.NumSources(); s++ {
+			if got.Vote(f, s) != want.Vote(f, s) {
+				t.Errorf("vote (%d,%d) = %v, want %v", f, s, got.Vote(f, s), want.Vote(f, s))
+			}
+		}
+	}
+	wg, gg := want.Golden(), got.Golden()
+	if len(wg) != len(gg) {
+		t.Fatalf("golden size %d, want %d", len(gg), len(wg))
+	}
+	for i := range wg {
+		if wg[i] != gg[i] {
+			t.Errorf("golden[%d] = %d, want %d", i, gg[i], wg[i])
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	d := MotivatingExample()
+	path := filepath.Join(t.TempDir(), "motivating.csv")
+	if err := SaveCSV(path, d); err != nil {
+		t.Fatalf("SaveCSV: %v", err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func TestCSVGoldenRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.AddSources("a", "b")
+	f1 := b.Fact("x")
+	f2 := b.Fact("y")
+	b.Vote(f1, 0, Affirm)
+	b.Vote(f2, 1, Deny)
+	b.Label(f1, True)
+	b.Label(f2, False)
+	b.Golden([]int{f1})
+	d := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !got.HasGolden() {
+		t.Fatal("golden flag lost in round trip")
+	}
+	assertDatasetsEqual(t, d, got)
+}
+
+func TestReadCSVWithoutOptionalColumns(t *testing.T) {
+	in := "fact,s1,s2\nr1,T,-\nr2,F,T\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if d.NumFacts() != 2 || d.NumSources() != 2 || d.NumVotes() != 3 {
+		t.Fatalf("shape (%d,%d,%d)", d.NumFacts(), d.NumSources(), d.NumVotes())
+	}
+	if d.Label(0) != Unknown {
+		t.Error("labels should default to Unknown")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "object,s1\nr1,T\n",
+		"no sources":      "fact,label\nr1,true\n",
+		"bad vote":        "fact,s1\nr1,X\n",
+		"bad label":       "fact,s1,label\nr1,T,perhaps\n",
+		"short row":       "fact,s1,s2\nr1,T\n",
+		"bad golden flag": "fact,s1,label,golden\nr1,T,true,2\n",
+		"empty":           "",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadCSV should fail", name)
+		}
+	}
+}
+
+func TestLoadCSVMissingFile(t *testing.T) {
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("LoadCSV on a missing file should fail")
+	}
+}

@@ -1,0 +1,89 @@
+package truth
+
+import "fmt"
+
+// MergePolicy decides what happens when two datasets disagree on the same
+// (fact, source) vote.
+type MergePolicy int
+
+const (
+	// MergeStrict fails on any conflicting vote.
+	MergeStrict MergePolicy = iota
+	// MergePreferLater keeps the vote from the later dataset (useful when
+	// merging crawl increments in time order: a CLOSED mark supersedes a
+	// listing).
+	MergePreferLater
+	// MergePreferDeny keeps a Deny over an Affirm regardless of order
+	// (pessimistic: one CLOSED mark wins).
+	MergePreferDeny
+)
+
+// Merge unions several datasets into one: sources and facts are matched by
+// name, votes are combined under the policy, and labels are merged (a known
+// label wins over Unknown; conflicting known labels fail). Explicit golden
+// sets are merged by fact name. Datasets are merged left to right.
+func Merge(policy MergePolicy, datasets ...*Dataset) (*Dataset, error) {
+	if len(datasets) == 0 {
+		return NewBuilder().Build(), nil
+	}
+	b := NewBuilder()
+	goldenNames := make(map[string]bool)
+	anyGolden := false
+	for di, d := range datasets {
+		for s := 0; s < d.NumSources(); s++ {
+			b.Source(d.SourceName(s))
+		}
+		for f := 0; f < d.NumFacts(); f++ {
+			name := d.FactName(f)
+			nf := b.Fact(name)
+			for _, sv := range d.VotesOnFact(f) {
+				ns := b.Source(d.SourceName(sv.Source))
+				switch prev := b.vote(nf, ns); {
+				case prev == Absent || prev == sv.Vote:
+					b.Vote(nf, ns, sv.Vote)
+				case policy == MergeStrict:
+					return nil, fmt.Errorf("truth: merge conflict on fact %q source %q (%v vs %v) in dataset %d",
+						name, d.SourceName(sv.Source), prev, sv.Vote, di)
+				case policy == MergePreferLater:
+					b.Vote(nf, ns, sv.Vote)
+				case policy == MergePreferDeny:
+					if sv.Vote == Deny {
+						b.Vote(nf, ns, Deny)
+					}
+				default:
+					return nil, fmt.Errorf("truth: unknown merge policy %d", int(policy))
+				}
+			}
+			if l := d.Label(f); l != Unknown {
+				if existing := b.labels[nf]; existing != Unknown && existing != l {
+					return nil, fmt.Errorf("truth: conflicting labels for fact %q (%v vs %v)", name, existing, l)
+				}
+				b.Label(nf, l)
+			}
+		}
+		if d.HasGolden() {
+			anyGolden = true
+			for _, f := range d.Golden() {
+				goldenNames[d.FactName(f)] = true
+			}
+		}
+	}
+	if anyGolden {
+		var golden []int
+		for f, name := range b.factNames {
+			if goldenNames[name] {
+				golden = append(golden, f)
+			}
+		}
+		b.Golden(golden)
+	}
+	return b.Build(), nil
+}
+
+// vote reports the vote currently recorded in the builder for (f, s).
+func (b *Builder) vote(f, s int) Vote {
+	if b.votes[f] == nil {
+		return Absent
+	}
+	return b.votes[f][s]
+}

@@ -1,0 +1,167 @@
+package truth
+
+import "testing"
+
+func mkDataset(fill func(*Builder)) *Dataset {
+	b := NewBuilder()
+	fill(b)
+	return b.Build()
+}
+
+func TestMergeUnionsDisjoint(t *testing.T) {
+	a := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Affirm)
+		b.LabelNamed("x", True)
+	})
+	c := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("y"), b.Source("s2"), Deny)
+	})
+	m, err := Merge(MergeStrict, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFacts() != 2 || m.NumSources() != 2 || m.NumVotes() != 2 {
+		t.Fatalf("merged shape (%d,%d,%d)", m.NumFacts(), m.NumSources(), m.NumVotes())
+	}
+	if m.Label(m.FactIndex("x")) != True {
+		t.Error("label lost in merge")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSharedFactAndSource(t *testing.T) {
+	a := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Affirm)
+	})
+	c := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s2"), Affirm)
+	})
+	m, err := Merge(MergeStrict, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFacts() != 1 || m.NumVotes() != 2 {
+		t.Fatalf("merged shape facts=%d votes=%d", m.NumFacts(), m.NumVotes())
+	}
+}
+
+func TestMergeStrictConflict(t *testing.T) {
+	a := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Affirm)
+	})
+	c := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Deny)
+	})
+	if _, err := Merge(MergeStrict, a, c); err == nil {
+		t.Fatal("strict merge must fail on a vote conflict")
+	}
+}
+
+func TestMergePreferLater(t *testing.T) {
+	a := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Affirm)
+	})
+	c := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Deny)
+	})
+	m, err := Merge(MergePreferLater, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vote(0, 0) != Deny {
+		t.Error("later dataset's vote should win")
+	}
+	// Reversed order: the affirm wins.
+	m, err = Merge(MergePreferLater, c, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vote(0, 0) != Affirm {
+		t.Error("later dataset's vote should win (reversed)")
+	}
+}
+
+func TestMergePreferDeny(t *testing.T) {
+	a := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Deny)
+	})
+	c := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Affirm)
+	})
+	// Deny survives whichever side it is on.
+	for _, pair := range [][]*Dataset{{a, c}, {c, a}} {
+		m, err := Merge(MergePreferDeny, pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Vote(0, 0) != Deny {
+			t.Error("Deny must win under MergePreferDeny")
+		}
+	}
+}
+
+func TestMergeLabelConflict(t *testing.T) {
+	a := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s1"), Affirm)
+		b.LabelNamed("x", True)
+	})
+	c := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("x"), b.Source("s2"), Affirm)
+		b.LabelNamed("x", False)
+	})
+	if _, err := Merge(MergePreferLater, a, c); err == nil {
+		t.Fatal("conflicting labels must fail")
+	}
+}
+
+func TestMergeGoldenByName(t *testing.T) {
+	a := mkDataset(func(b *Builder) {
+		f := b.Fact("x")
+		b.Vote(f, b.Source("s1"), Affirm)
+		b.Label(f, True)
+		b.Golden([]int{f})
+	})
+	c := mkDataset(func(b *Builder) {
+		b.Vote(b.Fact("y"), b.Source("s1"), Affirm)
+		b.LabelNamed("y", False)
+	})
+	m, err := Merge(MergeStrict, c, a) // golden fact merged second
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasGolden() {
+		t.Fatal("golden set lost")
+	}
+	g := m.Golden()
+	if len(g) != 1 || m.FactName(g[0]) != "x" {
+		t.Errorf("golden = %v", g)
+	}
+}
+
+func TestMergeEmptyAndIdentity(t *testing.T) {
+	m, err := Merge(MergeStrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFacts() != 0 {
+		t.Error("empty merge should be empty")
+	}
+	d := MotivatingExample()
+	m, err = Merge(MergeStrict, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVotes() != d.NumVotes() || m.NumFacts() != d.NumFacts() {
+		t.Error("identity merge changed the dataset")
+	}
+	// Self-merge is idempotent (identical votes are not conflicts).
+	m, err = Merge(MergeStrict, d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVotes() != d.NumVotes() {
+		t.Error("self-merge should be idempotent")
+	}
+}

@@ -1,0 +1,151 @@
+package truth
+
+// Stats summarizes a dataset the way Table 3 of the paper does: per-source
+// coverage, pairwise overlap, and per-source accuracy against the available
+// ground truth.
+type Stats struct {
+	// Facts and Votes are |F| and the total vote count.
+	Facts, Votes int
+	// Coverage[s] is the fraction of all facts source s voted on.
+	Coverage []float64
+	// Overlap[s][t] is the Jaccard overlap between the fact sets of s and
+	// t: |votes_s ∩ votes_t| / |votes_s ∪ votes_t|. Overlap[s][s] == 1.
+	Overlap [][]float64
+	// Accuracy[s] is the fraction of source s's votes (restricted to facts
+	// with known labels, further restricted to the golden set when one is
+	// declared) that agree with the ground truth. NaN-free: sources with no
+	// labeled votes get 0.
+	Accuracy []float64
+	// LabeledVotes[s] is the number of votes that contributed to
+	// Accuracy[s].
+	LabeledVotes []int
+	// DenyCount[s] is the number of F votes cast by source s over the
+	// whole dataset.
+	DenyCount []int
+	// FactsWithDeny is the number of facts receiving at least one F vote.
+	FactsWithDeny int
+}
+
+// ComputeStats derives Table 3-style statistics from the dataset.
+func ComputeStats(d *Dataset) *Stats {
+	nS, nF := d.NumSources(), d.NumFacts()
+	st := &Stats{
+		Facts:        nF,
+		Votes:        d.NumVotes(),
+		Coverage:     make([]float64, nS),
+		Overlap:      make([][]float64, nS),
+		Accuracy:     make([]float64, nS),
+		LabeledVotes: make([]int, nS),
+		DenyCount:    make([]int, nS),
+	}
+	for s := range st.Overlap {
+		st.Overlap[s] = make([]float64, nS)
+	}
+	counts := make([]int, nS)
+	inter := make([][]int, nS)
+	for s := range inter {
+		inter[s] = make([]int, nS)
+	}
+	for f := 0; f < nF; f++ {
+		list := d.VotesOnFact(f)
+		if len(list) > 0 {
+			hasDeny := false
+			for _, sv := range list {
+				if sv.Vote == Deny {
+					hasDeny = true
+					break
+				}
+			}
+			if hasDeny {
+				st.FactsWithDeny++
+			}
+		}
+		for i, a := range list {
+			counts[a.Source]++
+			if a.Vote == Deny {
+				st.DenyCount[a.Source]++
+			}
+			for _, b := range list[i+1:] {
+				inter[a.Source][b.Source]++
+				inter[b.Source][a.Source]++
+			}
+		}
+	}
+	for s := 0; s < nS; s++ {
+		if nF > 0 {
+			st.Coverage[s] = float64(counts[s]) / float64(nF)
+		}
+		st.Overlap[s][s] = 1
+		for t := s + 1; t < nS; t++ {
+			union := counts[s] + counts[t] - inter[s][t]
+			if union > 0 {
+				ov := float64(inter[s][t]) / float64(union)
+				st.Overlap[s][t] = ov
+				st.Overlap[t][s] = ov
+			}
+		}
+	}
+	eval := d.Golden()
+	inEval := make([]bool, nF)
+	for _, f := range eval {
+		inEval[f] = true
+	}
+	correct := make([]int, nS)
+	for s := 0; s < nS; s++ {
+		for _, fv := range d.VotesBySource(s) {
+			l := d.Label(fv.Fact)
+			if l == Unknown || !inEval[fv.Fact] {
+				continue
+			}
+			st.LabeledVotes[s]++
+			if (fv.Vote == Affirm && l == True) || (fv.Vote == Deny && l == False) {
+				correct[s]++
+			}
+		}
+		if st.LabeledVotes[s] > 0 {
+			st.Accuracy[s] = float64(correct[s]) / float64(st.LabeledVotes[s])
+		}
+	}
+	return st
+}
+
+// TrueAccuracy computes each source's accuracy over every labeled fact
+// (ignoring any golden-set restriction). It is the reference trust vector
+// t(s) used in the MSE metric (Eq. 10).
+func TrueAccuracy(d *Dataset) []float64 {
+	nS := d.NumSources()
+	acc := make([]float64, nS)
+	for s := 0; s < nS; s++ {
+		correct, total := 0, 0
+		for _, fv := range d.VotesBySource(s) {
+			l := d.Label(fv.Fact)
+			if l == Unknown {
+				continue
+			}
+			total++
+			if (fv.Vote == Affirm && l == True) || (fv.Vote == Deny && l == False) {
+				correct++
+			}
+		}
+		if total > 0 {
+			acc[s] = float64(correct) / float64(total)
+		}
+	}
+	return acc
+}
+
+// Restrict returns a new dataset containing only the given facts (in the
+// given order), keeping all sources. Labels and vote structure are
+// preserved; the golden set of the restriction is every labeled fact.
+func Restrict(d *Dataset, facts []int) *Dataset {
+	b := NewBuilder()
+	b.AddSources(d.SourceNames()...)
+	for _, f := range facts {
+		nf := b.Fact(d.FactName(f))
+		for _, sv := range d.VotesOnFact(f) {
+			b.Vote(nf, sv.Source, sv.Vote)
+		}
+		b.Label(nf, d.Label(f))
+	}
+	return b.Build()
+}

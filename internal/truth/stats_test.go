@@ -1,0 +1,173 @@
+package truth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeStatsMotivating(t *testing.T) {
+	d := MotivatingExample()
+	st := ComputeStats(d)
+	if st.Facts != 12 || st.Votes != d.NumVotes() {
+		t.Fatalf("Facts=%d Votes=%d", st.Facts, st.Votes)
+	}
+	// s4 votes on 10 of 12 facts.
+	if got := st.Coverage[3]; math.Abs(got-10.0/12) > 1e-12 {
+		t.Errorf("coverage(s4) = %v, want 10/12", got)
+	}
+	// s1 votes on r2, r3, r5 -> 3/12.
+	if got := st.Coverage[0]; math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("coverage(s1) = %v, want 0.25", got)
+	}
+	// Accuracy equals MotivatingTrust because every fact is labeled.
+	want := MotivatingTrust()
+	for s := range want {
+		if math.Abs(st.Accuracy[s]-want[s]) > 1e-12 {
+			t.Errorf("accuracy[s%d] = %v, want %v", s+1, st.Accuracy[s], want[s])
+		}
+	}
+	// r6 and r12 carry F votes.
+	if st.FactsWithDeny != 2 {
+		t.Errorf("FactsWithDeny = %d, want 2", st.FactsWithDeny)
+	}
+	// s3 casts F on r6 and r12; s2 on r12.
+	if st.DenyCount[2] != 2 || st.DenyCount[1] != 1 {
+		t.Errorf("DenyCount = %v", st.DenyCount)
+	}
+}
+
+func TestOverlapProperties(t *testing.T) {
+	d := MotivatingExample()
+	st := ComputeStats(d)
+	n := d.NumSources()
+	for s := 0; s < n; s++ {
+		if st.Overlap[s][s] != 1 {
+			t.Errorf("Overlap[%d][%d] = %v, want 1", s, s, st.Overlap[s][s])
+		}
+		for u := 0; u < n; u++ {
+			if st.Overlap[s][u] != st.Overlap[u][s] {
+				t.Errorf("overlap not symmetric at (%d,%d)", s, u)
+			}
+			if st.Overlap[s][u] < 0 || st.Overlap[s][u] > 1 {
+				t.Errorf("overlap out of range at (%d,%d): %v", s, u, st.Overlap[s][u])
+			}
+		}
+	}
+	// s1 votes {r2,r3,r5}, s3 votes {r3,r6,r9,r11,r12}: intersection {r3},
+	// union 7 facts -> 1/7.
+	if got := st.Overlap[0][2]; math.Abs(got-1.0/7) > 1e-12 {
+		t.Errorf("overlap(s1,s3) = %v, want 1/7", got)
+	}
+}
+
+func TestStatsRespectGoldenRestriction(t *testing.T) {
+	b := NewBuilder()
+	b.AddSources("s")
+	f1 := b.Fact("a") // correct vote
+	f2 := b.Fact("b") // incorrect vote
+	b.Vote(f1, 0, Affirm)
+	b.Vote(f2, 0, Affirm)
+	b.Label(f1, True)
+	b.Label(f2, False)
+	d := b.Build()
+	if got := ComputeStats(d).Accuracy[0]; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("accuracy = %v, want 0.5 over both labeled facts", got)
+	}
+	b.Golden([]int{f1})
+	d = b.Build()
+	if got := ComputeStats(d).Accuracy[0]; got != 1 {
+		t.Errorf("accuracy = %v, want 1 when restricted to golden fact a", got)
+	}
+}
+
+func TestTrueAccuracyIgnoresGolden(t *testing.T) {
+	b := NewBuilder()
+	b.AddSources("s")
+	f1 := b.Fact("a")
+	f2 := b.Fact("b")
+	b.Vote(f1, 0, Affirm)
+	b.Vote(f2, 0, Affirm)
+	b.Label(f1, True)
+	b.Label(f2, False)
+	b.Golden([]int{f1})
+	d := b.Build()
+	if got := TrueAccuracy(d)[0]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TrueAccuracy = %v, want 0.5 (golden set must be ignored)", got)
+	}
+}
+
+// TestCoverageBounds is a property test: random small datasets always yield
+// coverage, overlap and accuracy inside [0, 1] and a valid structure.
+func TestCoverageBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDataset(seed, 7, 40)
+		if err := d.Validate(); err != nil {
+			t.Logf("Validate: %v", err)
+			return false
+		}
+		st := ComputeStats(d)
+		for s := 0; s < d.NumSources(); s++ {
+			if st.Coverage[s] < 0 || st.Coverage[s] > 1 {
+				return false
+			}
+			if st.Accuracy[s] < 0 || st.Accuracy[s] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomDataset builds a deterministic pseudo-random dataset for property
+// tests. It uses a simple LCG so tests do not depend on math/rand's stream
+// stability across Go versions.
+func randomDataset(seed int64, sources, facts int) *Dataset {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		state = state*2862933555777941757 + 3037000493
+		return state >> 33
+	}
+	b := NewBuilder()
+	for s := 0; s < sources; s++ {
+		b.Source(srcName(s))
+	}
+	for f := 0; f < facts; f++ {
+		fi := b.Fact(factName(f))
+		for s := 0; s < sources; s++ {
+			switch next() % 5 {
+			case 0, 1:
+				b.Vote(fi, s, Affirm)
+			case 2:
+				b.Vote(fi, s, Deny)
+			}
+		}
+		switch next() % 3 {
+		case 0:
+			b.Label(fi, True)
+		case 1:
+			b.Label(fi, False)
+		}
+	}
+	return b.Build()
+}
+
+func srcName(i int) string  { return "s" + string(rune('A'+i%26)) }
+func factName(i int) string { return "f" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

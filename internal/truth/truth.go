@@ -1,0 +1,388 @@
+// Package truth defines the shared data model for the corroboration
+// (truth-discovery) problem studied in Wu & Marian, "Corroborating Facts
+// from Affirmative Statements" (EDBT 2014): a set of sources casting
+// affirmative (T), negative (F), or absent (-) votes over a set of boolean
+// facts, plus optional ground-truth labels used for evaluation.
+//
+// The package is deliberately algorithm-free: every corroboration method in
+// this repository (the paper's IncEstimate as well as all baselines) consumes
+// a *Dataset and produces a *Result, so datasets, metrics, and algorithms
+// compose freely.
+package truth
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Vote is a single source's statement about a single fact.
+type Vote int8
+
+const (
+	// Absent means the source expressed no opinion about the fact ('-' in
+	// the paper). It is the zero value so that unset entries in a dense
+	// matrix naturally mean "no vote".
+	Absent Vote = iota
+	// Affirm is an affirmative statement: the source supports the fact
+	// being true (a T vote).
+	Affirm
+	// Deny is a disagreeing statement: the source claims the fact is false
+	// (an F vote, e.g. a restaurant listed as CLOSED).
+	Deny
+)
+
+// String returns the paper's notation for the vote: "T", "F", or "-".
+func (v Vote) String() string {
+	switch v {
+	case Affirm:
+		return "T"
+	case Deny:
+		return "F"
+	case Absent:
+		return "-"
+	default:
+		return fmt.Sprintf("Vote(%d)", int8(v))
+	}
+}
+
+// Valid reports whether v is one of the three defined vote values.
+func (v Vote) Valid() bool { return v == Absent || v == Affirm || v == Deny }
+
+// ParseVote converts the paper's notation ("T", "F", "-") to a Vote.
+// It accepts a few common synonyms ("true"/"false"/"1"/"0"/"") and is
+// case-insensitive.
+func ParseVote(s string) (Vote, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "t", "true", "1", "+", "yes":
+		return Affirm, nil
+	case "f", "false", "0", "no":
+		return Deny, nil
+	case "-", "", "_", "none", "?":
+		return Absent, nil
+	default:
+		return Absent, fmt.Errorf("truth: cannot parse vote %q", s)
+	}
+}
+
+// Label is the (possibly unknown) ground-truth value of a fact.
+type Label int8
+
+const (
+	// Unknown means no ground truth is available for the fact.
+	Unknown Label = iota
+	// True means the fact is correct.
+	True
+	// False means the fact is erroneous.
+	False
+)
+
+// String returns "true", "false", or "unknown".
+func (l Label) String() string {
+	switch l {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Label(%d)", int8(l))
+	}
+}
+
+// Valid reports whether l is one of the three defined label values.
+func (l Label) Valid() bool { return l == Unknown || l == True || l == False }
+
+// ParseLabel converts a string to a Label.
+func ParseLabel(s string) (Label, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "true", "t", "1":
+		return True, nil
+	case "false", "f", "0":
+		return False, nil
+	case "unknown", "", "-", "?":
+		return Unknown, nil
+	default:
+		return Unknown, fmt.Errorf("truth: cannot parse label %q", s)
+	}
+}
+
+// LabelOf converts a corroborated probability to a Label using the paper's
+// Equation 2: true iff the probability is at least the threshold (0.5).
+func LabelOf(prob, threshold float64) Label {
+	if prob >= threshold {
+		return True
+	}
+	return False
+}
+
+// Threshold is the decision threshold used throughout the paper (Eq. 2).
+const Threshold = 0.5
+
+// SourceVote is one (source, vote) entry in a fact's posting list.
+type SourceVote struct {
+	Source int
+	Vote   Vote
+}
+
+// FactVote is one (fact, vote) entry in a source's posting list.
+type FactVote struct {
+	Fact int
+	Vote Vote
+}
+
+// ErrNoVotes is returned by algorithms that require at least one vote.
+var ErrNoVotes = errors.New("truth: dataset contains no votes")
+
+// Dataset is an immutable-after-build sparse vote matrix: |S| sources by
+// |F| facts, with posting lists in both orientations so algorithms can
+// iterate whichever way is natural. Build one with a Builder.
+type Dataset struct {
+	sourceNames []string
+	factNames   []string
+
+	// factVotes[f] lists the sources that voted on fact f, ordered by
+	// source index; sourceVotes[s] lists the facts source s voted on,
+	// ordered by fact index.
+	factVotes   [][]SourceVote
+	sourceVotes [][]FactVote
+
+	// labels[f] is the ground truth of fact f, Unknown if unavailable.
+	labels []Label
+
+	// golden, when non-nil, restricts evaluation to a subset of fact
+	// indices (the paper's in-person-audited golden set).
+	golden []int
+
+	votes int
+}
+
+// NumSources returns |S|.
+func (d *Dataset) NumSources() int { return len(d.sourceNames) }
+
+// NumFacts returns |F|.
+func (d *Dataset) NumFacts() int { return len(d.factNames) }
+
+// NumVotes returns the total number of non-absent votes.
+func (d *Dataset) NumVotes() int { return d.votes }
+
+// SourceName returns the display name of source s.
+func (d *Dataset) SourceName(s int) string { return d.sourceNames[s] }
+
+// FactName returns the display name of fact f.
+func (d *Dataset) FactName(f int) string { return d.factNames[f] }
+
+// SourceNames returns a copy of all source names in index order.
+func (d *Dataset) SourceNames() []string {
+	out := make([]string, len(d.sourceNames))
+	copy(out, d.sourceNames)
+	return out
+}
+
+// FactNames returns a copy of all fact names in index order.
+func (d *Dataset) FactNames() []string {
+	out := make([]string, len(d.factNames))
+	copy(out, d.factNames)
+	return out
+}
+
+// SourceIndex returns the index of the source with the given name, or -1.
+func (d *Dataset) SourceIndex(name string) int {
+	for i, n := range d.sourceNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FactIndex returns the index of the fact with the given name, or -1.
+func (d *Dataset) FactIndex(name string) int {
+	for i, n := range d.factNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Vote returns source s's vote on fact f (Absent if none).
+func (d *Dataset) Vote(f, s int) Vote {
+	for _, sv := range d.factVotes[f] {
+		if sv.Source == s {
+			return sv.Vote
+		}
+		if sv.Source > s {
+			break
+		}
+	}
+	return Absent
+}
+
+// VotesOnFact returns fact f's posting list, ordered by source index.
+// The returned slice is shared; callers must not modify it.
+func (d *Dataset) VotesOnFact(f int) []SourceVote { return d.factVotes[f] }
+
+// VotesBySource returns source s's posting list, ordered by fact index.
+// The returned slice is shared; callers must not modify it.
+func (d *Dataset) VotesBySource(s int) []FactVote { return d.sourceVotes[s] }
+
+// Label returns the ground truth of fact f (Unknown if unavailable).
+func (d *Dataset) Label(f int) Label { return d.labels[f] }
+
+// Labels returns a copy of all ground-truth labels in fact order.
+func (d *Dataset) Labels() []Label {
+	out := make([]Label, len(d.labels))
+	copy(out, d.labels)
+	return out
+}
+
+// HasTruth reports whether any fact carries a ground-truth label.
+func (d *Dataset) HasTruth() bool {
+	for _, l := range d.labels {
+		if l != Unknown {
+			return true
+		}
+	}
+	return false
+}
+
+// Golden returns the evaluation subset: the explicit golden set if one was
+// declared, otherwise the indices of every fact with a known label.
+func (d *Dataset) Golden() []int {
+	if d.golden != nil {
+		out := make([]int, len(d.golden))
+		copy(out, d.golden)
+		return out
+	}
+	var out []int
+	for f, l := range d.labels {
+		if l != Unknown {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HasGolden reports whether an explicit golden set was declared.
+func (d *Dataset) HasGolden() bool { return d.golden != nil }
+
+// Signature returns a canonical string identifying the exact vote pattern
+// on fact f, e.g. "2:T 4:T" or "3:F 4:T". Facts with equal signatures
+// received identical votes from identical sources and therefore form one
+// fact group in the IncEstimate algorithm (§5.1).
+func (d *Dataset) Signature(f int) string {
+	var b strings.Builder
+	for i, sv := range d.factVotes[f] {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%s", sv.Source, sv.Vote)
+	}
+	return b.String()
+}
+
+// OnlyAffirmative reports whether fact f received T votes only (f ∈ F*).
+func (d *Dataset) OnlyAffirmative(f int) bool {
+	if len(d.factVotes[f]) == 0 {
+		return false
+	}
+	for _, sv := range d.factVotes[f] {
+		if sv.Vote != Affirm {
+			return false
+		}
+	}
+	return true
+}
+
+// AffirmativeShare returns |F*| / |F|: the fraction of voted facts that
+// carry affirmative statements only. The paper's scenario of interest has
+// AffirmativeShare close to 1.
+func (d *Dataset) AffirmativeShare() float64 {
+	voted, only := 0, 0
+	for f := range d.factVotes {
+		if len(d.factVotes[f]) == 0 {
+			continue
+		}
+		voted++
+		if d.OnlyAffirmative(f) {
+			only++
+		}
+	}
+	if voted == 0 {
+		return 0
+	}
+	return float64(only) / float64(voted)
+}
+
+// Validate checks internal consistency (ordering of posting lists, vote
+// symmetry between orientations, label validity). A Dataset produced by a
+// Builder always validates; the method exists for datasets read from files.
+func (d *Dataset) Validate() error {
+	if len(d.labels) != len(d.factNames) {
+		return fmt.Errorf("truth: %d labels for %d facts", len(d.labels), len(d.factNames))
+	}
+	if len(d.factVotes) != len(d.factNames) {
+		return fmt.Errorf("truth: %d fact posting lists for %d facts", len(d.factVotes), len(d.factNames))
+	}
+	if len(d.sourceVotes) != len(d.sourceNames) {
+		return fmt.Errorf("truth: %d source posting lists for %d sources", len(d.sourceVotes), len(d.sourceNames))
+	}
+	n := 0
+	for f, list := range d.factVotes {
+		prev := -1
+		for _, sv := range list {
+			if sv.Source <= prev {
+				return fmt.Errorf("truth: fact %d posting list not strictly ordered", f)
+			}
+			prev = sv.Source
+			if sv.Source < 0 || sv.Source >= len(d.sourceNames) {
+				return fmt.Errorf("truth: fact %d references source %d out of range", f, sv.Source)
+			}
+			if sv.Vote != Affirm && sv.Vote != Deny {
+				return fmt.Errorf("truth: fact %d stores non-vote %v", f, sv.Vote)
+			}
+			n++
+		}
+	}
+	if n != d.votes {
+		return fmt.Errorf("truth: vote count %d does not match posting lists (%d)", d.votes, n)
+	}
+	m := 0
+	for s, list := range d.sourceVotes {
+		prev := -1
+		for _, fv := range list {
+			if fv.Fact <= prev {
+				return fmt.Errorf("truth: source %d posting list not strictly ordered", s)
+			}
+			prev = fv.Fact
+			if fv.Fact < 0 || fv.Fact >= len(d.factNames) {
+				return fmt.Errorf("truth: source %d references fact %d out of range", s, fv.Fact)
+			}
+			if got := d.Vote(fv.Fact, s); got != fv.Vote {
+				return fmt.Errorf("truth: vote mismatch between orientations at fact %d source %d: %v vs %v", fv.Fact, s, fv.Vote, got)
+			}
+			m++
+		}
+	}
+	if m != d.votes {
+		return fmt.Errorf("truth: source-orientation vote count %d does not match %d", m, d.votes)
+	}
+	for f, l := range d.labels {
+		if !l.Valid() {
+			return fmt.Errorf("truth: fact %d has invalid label %d", f, int8(l))
+		}
+	}
+	seen := make(map[int]bool, len(d.golden))
+	for _, f := range d.golden {
+		if f < 0 || f >= len(d.factNames) {
+			return fmt.Errorf("truth: golden index %d out of range", f)
+		}
+		if seen[f] {
+			return fmt.Errorf("truth: golden index %d duplicated", f)
+		}
+		seen[f] = true
+	}
+	return nil
+}

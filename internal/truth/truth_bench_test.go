@@ -1,0 +1,71 @@
+package truth
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDataset(facts, sources int) *Dataset {
+	b := NewBuilder()
+	for s := 0; s < sources; s++ {
+		b.Source(fmt.Sprintf("s%03d", s))
+	}
+	for f := 0; f < facts; f++ {
+		fi := b.Fact(fmt.Sprintf("f%06d", f))
+		for s := 0; s < sources; s++ {
+			if (f+s)%3 == 0 {
+				v := Affirm
+				if (f*s)%17 == 0 {
+					v = Deny
+				}
+				b.Vote(fi, s, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchDataset(2000, 10)
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	d := benchDataset(2000, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Signature(i % d.NumFacts())
+	}
+}
+
+func BenchmarkVoteLookup(b *testing.B) {
+	d := benchDataset(2000, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Vote(i%d.NumFacts(), i%d.NumSources())
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	d := benchDataset(5000, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeStats(d)
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	d := benchDataset(5000, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

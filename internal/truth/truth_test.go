@@ -1,0 +1,365 @@
+package truth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVoteString(t *testing.T) {
+	cases := []struct {
+		v    Vote
+		want string
+	}{
+		{Affirm, "T"},
+		{Deny, "F"},
+		{Absent, "-"},
+		{Vote(9), "Vote(9)"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Vote(%d).String() = %q, want %q", int8(c.v), got, c.want)
+		}
+	}
+}
+
+func TestVoteValid(t *testing.T) {
+	for _, v := range []Vote{Absent, Affirm, Deny} {
+		if !v.Valid() {
+			t.Errorf("%v should be valid", v)
+		}
+	}
+	if Vote(3).Valid() {
+		t.Error("Vote(3) should be invalid")
+	}
+	if Vote(-1).Valid() {
+		t.Error("Vote(-1) should be invalid")
+	}
+}
+
+func TestParseVote(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Vote
+	}{
+		{"T", Affirm}, {"t", Affirm}, {"true", Affirm}, {"1", Affirm}, {" T ", Affirm},
+		{"F", Deny}, {"false", Deny}, {"0", Deny},
+		{"-", Absent}, {"", Absent}, {"?", Absent},
+	}
+	for _, c := range cases {
+		got, err := ParseVote(c.in)
+		if err != nil {
+			t.Errorf("ParseVote(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseVote(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseVote("banana"); err == nil {
+		t.Error("ParseVote(banana) should fail")
+	}
+}
+
+func TestParseLabel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Label
+	}{
+		{"true", True}, {"TRUE", True}, {"1", True},
+		{"false", False}, {"F", False},
+		{"unknown", Unknown}, {"", Unknown}, {"?", Unknown},
+	}
+	for _, c := range cases {
+		got, err := ParseLabel(c.in)
+		if err != nil {
+			t.Errorf("ParseLabel(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseLabel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseLabel("maybe"); err == nil {
+		t.Error("ParseLabel(maybe) should fail")
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	if LabelOf(0.5, Threshold) != True {
+		t.Error("probability exactly at threshold must be True (Eq. 2 uses >=)")
+	}
+	if LabelOf(0.4999, Threshold) != False {
+		t.Error("probability below threshold must be False")
+	}
+	if LabelOf(1, Threshold) != True || LabelOf(0, Threshold) != False {
+		t.Error("extremes misclassified")
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	s1 := b.Source("alpha")
+	s2 := b.Source("beta")
+	if s1 == s2 {
+		t.Fatal("distinct sources must have distinct indices")
+	}
+	if again := b.Source("alpha"); again != s1 {
+		t.Errorf("re-interning alpha gave %d, want %d", again, s1)
+	}
+	f1 := b.Fact("x")
+	b.Vote(f1, s2, Affirm)
+	b.Vote(f1, s1, Deny)
+	b.Label(f1, False)
+	d := b.Build()
+
+	if d.NumSources() != 2 || d.NumFacts() != 1 || d.NumVotes() != 2 {
+		t.Fatalf("got %d sources, %d facts, %d votes", d.NumSources(), d.NumFacts(), d.NumVotes())
+	}
+	if d.Vote(f1, s1) != Deny || d.Vote(f1, s2) != Affirm {
+		t.Error("votes not stored correctly")
+	}
+	if d.Label(f1) != False {
+		t.Error("label not stored")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderOverwriteAndRemove(t *testing.T) {
+	b := NewBuilder()
+	f := b.Fact("r")
+	s := b.Source("s")
+	b.Vote(f, s, Affirm)
+	b.Vote(f, s, Deny) // overwrite
+	d := b.Build()
+	if d.Vote(f, s) != Deny {
+		t.Error("later vote should overwrite earlier one")
+	}
+	if d.NumVotes() != 1 {
+		t.Errorf("NumVotes = %d, want 1", d.NumVotes())
+	}
+	b.Vote(f, s, Absent) // remove
+	d = b.Build()
+	if d.Vote(f, s) != Absent || d.NumVotes() != 0 {
+		t.Error("Absent should remove the vote")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder()
+	b.Fact("r")
+	b.Source("s")
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("fact out of range", func() { b.Vote(5, 0, Affirm) })
+	mustPanic("source out of range", func() { b.Vote(0, 5, Affirm) })
+	mustPanic("invalid vote", func() { b.Vote(0, 0, Vote(7)) })
+	mustPanic("invalid label", func() { b.Label(0, Label(7)) })
+}
+
+func TestBuildIsSnapshot(t *testing.T) {
+	b := NewBuilder()
+	f := b.Fact("r1")
+	s := b.Source("s1")
+	b.Vote(f, s, Affirm)
+	d := b.Build()
+	b.Fact("r2")
+	b.Vote(f, s, Deny)
+	if d.NumFacts() != 1 {
+		t.Error("dataset grew after Build")
+	}
+	if d.Vote(f, s) != Affirm {
+		t.Error("dataset vote changed after Build")
+	}
+}
+
+func TestPostingListsOrdered(t *testing.T) {
+	b := NewBuilder()
+	// Intern in shuffled order.
+	for _, n := range []string{"s3", "s1", "s2"} {
+		b.Source(n)
+	}
+	f := b.Fact("r")
+	b.Vote(f, b.Source("s2"), Affirm)
+	b.Vote(f, b.Source("s1"), Deny)
+	b.Vote(f, b.Source("s3"), Affirm)
+	d := b.Build()
+	list := d.VotesOnFact(f)
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Source >= list[i].Source {
+			t.Fatalf("fact posting list not ordered: %v", list)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSignatureGroupsEqualVotes(t *testing.T) {
+	d := MotivatingExample()
+	// r7 and r8 have identical votes (s2, s4, s5 = T); r4 and r10 too.
+	if d.Signature(d.FactIndex("r7")) != d.Signature(d.FactIndex("r8")) {
+		t.Error("r7 and r8 must share a signature")
+	}
+	if d.Signature(d.FactIndex("r4")) != d.Signature(d.FactIndex("r10")) {
+		t.Error("r4 and r10 must share a signature")
+	}
+	if d.Signature(d.FactIndex("r6")) == d.Signature(d.FactIndex("r12")) {
+		t.Error("r6 and r12 must not share a signature")
+	}
+	if !strings.Contains(d.Signature(d.FactIndex("r12")), "F") {
+		t.Error("r12's signature must record its F votes")
+	}
+}
+
+func TestOnlyAffirmative(t *testing.T) {
+	d := MotivatingExample()
+	if !d.OnlyAffirmative(d.FactIndex("r1")) {
+		t.Error("r1 has T votes only")
+	}
+	if d.OnlyAffirmative(d.FactIndex("r6")) {
+		t.Error("r6 has an F vote")
+	}
+	// 10 of 12 facts are affirmative-only.
+	if got := d.AffirmativeShare(); got < 0.83 || got > 0.84 {
+		t.Errorf("AffirmativeShare = %v, want 10/12", got)
+	}
+}
+
+func TestMotivatingExampleMatchesTable1(t *testing.T) {
+	d := MotivatingExample()
+	if d.NumSources() != 5 || d.NumFacts() != 12 {
+		t.Fatalf("got %d sources, %d facts", d.NumSources(), d.NumFacts())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Spot-check votes straight from Table 1.
+	checks := []struct {
+		fact, source string
+		want         Vote
+	}{
+		{"r1", "s2", Affirm}, {"r1", "s1", Absent},
+		{"r6", "s3", Deny}, {"r6", "s4", Affirm},
+		{"r12", "s2", Deny}, {"r12", "s3", Deny}, {"r12", "s4", Affirm}, {"r12", "s5", Absent},
+		{"r9", "s3", Affirm}, {"r9", "s5", Affirm}, {"r9", "s4", Absent},
+	}
+	for _, c := range checks {
+		if got := d.Vote(d.FactIndex(c.fact), d.SourceIndex(c.source)); got != c.want {
+			t.Errorf("Vote(%s, %s) = %v, want %v", c.fact, c.source, got, c.want)
+		}
+	}
+	// Ground truth column: 7 true, 5 false.
+	nTrue := 0
+	for f := 0; f < d.NumFacts(); f++ {
+		if d.Label(f) == True {
+			nTrue++
+		}
+	}
+	if nTrue != 7 {
+		t.Errorf("got %d true facts, want 7", nTrue)
+	}
+}
+
+func TestMotivatingTrustMatchesPaper(t *testing.T) {
+	// Derived from the printed Table 1; the paper's prose vector
+	// {1, 0.8, 1, 0.5, 0.625} contradicts its own table (see the
+	// MotivatingTrust doc comment), so we assert the table-derived values.
+	want := []float64{2.0 / 3, 1, 1, 0.5, 0.75}
+	got := MotivatingTrust()
+	if len(got) != len(want) {
+		t.Fatalf("got %d trust scores", len(got))
+	}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("trust[s%d] = %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestResultFinalizeAndCheck(t *testing.T) {
+	d := MotivatingExample()
+	r := NewResult("test", d)
+	r.FactProb[0] = 0.9
+	r.FactProb[1] = 0.1
+	r.Finalize()
+	if r.Predictions[0] != True || r.Predictions[1] != False {
+		t.Error("Finalize mis-thresholds")
+	}
+	if err := r.Check(d); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	r.FactProb[2] = 1.5
+	if err := r.Check(d); err == nil {
+		t.Error("Check should reject out-of-range probability")
+	}
+	r.FactProb[2] = 0.5
+	r.Trust = []float64{0.1}
+	if err := r.Check(d); err == nil {
+		t.Error("Check should reject mis-sized trust vector")
+	}
+}
+
+func TestGoldenDefaultsToLabeled(t *testing.T) {
+	b := NewBuilder()
+	b.Source("s")
+	f1 := b.Fact("a")
+	f2 := b.Fact("b")
+	b.Fact("c") // unlabeled
+	b.Label(f1, True)
+	b.Label(f2, False)
+	d := b.Build()
+	if d.HasGolden() {
+		t.Error("no explicit golden set was declared")
+	}
+	g := d.Golden()
+	if len(g) != 2 || g[0] != f1 || g[1] != f2 {
+		t.Errorf("Golden() = %v, want labeled facts", g)
+	}
+}
+
+func TestExplicitGolden(t *testing.T) {
+	b := NewBuilder()
+	b.Source("s")
+	f1 := b.Fact("a")
+	f2 := b.Fact("b")
+	b.Label(f1, True)
+	b.Label(f2, False)
+	b.Golden([]int{f2})
+	d := b.Build()
+	if !d.HasGolden() {
+		t.Fatal("HasGolden should be true")
+	}
+	g := d.Golden()
+	if len(g) != 1 || g[0] != f2 {
+		t.Errorf("Golden() = %v, want [%d]", g, f2)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	d := MotivatingExample()
+	sub := Restrict(d, []int{d.FactIndex("r12"), d.FactIndex("r9")})
+	if sub.NumFacts() != 2 {
+		t.Fatalf("NumFacts = %d", sub.NumFacts())
+	}
+	if sub.FactName(0) != "r12" || sub.FactName(1) != "r9" {
+		t.Error("fact order must follow the request")
+	}
+	if sub.Vote(0, sub.SourceIndex("s4")) != Affirm {
+		t.Error("r12 vote from s4 lost")
+	}
+	if sub.Label(0) != False || sub.Label(1) != True {
+		t.Error("labels lost in restriction")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
