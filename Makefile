@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race target covers internal/core, where the parallel ∆H ranker lives;
+# the equivalence tests force the concurrent path even on one CPU.
+race:
+	$(GO) test -race ./internal/core/...
+
+# check is the CI gate: compile, static checks, the full test suite, and
+# the race detector.
+check: build vet test race
+
+# bench runs the core/score/entropy/truth benchmarks and refreshes
+# BENCH_1.json (see scripts/bench.sh).
+bench:
+	sh scripts/bench.sh

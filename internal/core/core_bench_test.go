@@ -35,6 +35,102 @@ func benchWorld(facts int) *truth.Dataset {
 	return b.Build()
 }
 
+// bigBenchWorld builds a crawl-scale dataset: many sources, tens of
+// thousands of facts, and hundreds of distinct vote patterns so both sides
+// of the ∆H ranking carry a deep candidate list — the regime the
+// incremental engine and its parallel ranker exist for. Votes are drawn per
+// pattern (as in internal/synth), so fact groups are large and correlated;
+// conflictShare of the patterns carry an F vote.
+func bigBenchWorld(sources, facts, patterns int) *truth.Dataset {
+	state := uint64(12345)
+	next := func(n uint64) uint64 {
+		state = state*2862933555777941757 + 3037000493
+		return (state >> 33) % n
+	}
+	type pvote struct {
+		source int
+		vote   truth.Vote
+	}
+	pool := make([][]pvote, patterns)
+	for p := range pool {
+		voters := 2 + int(next(5))
+		seen := make(map[int]bool, voters)
+		var sig []pvote
+		for len(sig) < voters {
+			s := int(next(uint64(sources)))
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			sig = append(sig, pvote{source: s, vote: truth.Affirm})
+		}
+		if p%6 == 0 { // ~17% of patterns are conflicted
+			sig[0].vote = truth.Deny
+		}
+		pool[p] = sig
+	}
+	b := truth.NewBuilder()
+	for s := 0; s < sources; s++ {
+		b.Source(fmt.Sprintf("s%03d", s))
+	}
+	for f := 0; f < facts; f++ {
+		fi := b.Fact(fmt.Sprintf("f%06d", f))
+		for _, pv := range pool[int(next(uint64(patterns)))] {
+			b.Vote(fi, pv.source, pv.vote)
+		}
+	}
+	return b.Build()
+}
+
+// BenchmarkDeltaH isolates one ∆H argmax over the negative side of the
+// first round of the crawl-scale world: the reference scan re-derives every
+// group's probability per candidate, the engine ranks through the inverted
+// index with cached probabilities and the shared entropy baseline.
+func BenchmarkDeltaH(b *testing.B) {
+	d := bigBenchWorld(120, 50000, 800)
+	groups := buildGroups(d)
+	state := newTrustState(d.NumSources(), 0.9)
+	trust := state.vector()
+	var neg []*group
+	for _, g := range groups {
+		if g.prob(trust) <= truth.Threshold {
+			neg = append(neg, g)
+		}
+	}
+	if len(neg) < 2 {
+		b.Fatalf("only %d negative candidates", len(neg))
+	}
+	b.Logf("%d groups, %d negative candidates", len(groups), len(neg))
+
+	b.Run("reference", func(b *testing.B) {
+		scratch := make([]float64, d.NumSources())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if argmaxDeltaH(neg, groups, state, trust, scratch, 1) == nil {
+				b.Fatal("no selection")
+			}
+		}
+	})
+	for name, threshold := range map[string]int{"engine": 1 << 30, "engine-parallel": 2} {
+		b.Run(name, func(b *testing.B) {
+			old := parallelRankThreshold
+			parallelRankThreshold = threshold
+			defer func() { parallelRankThreshold = old }()
+			e := NewHeu()
+			eng := newEngine(e, d, state, groups, truth.NewResult(e.Name(), d))
+			eng.syncTrust()
+			eng.syncBaseline()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if eng.rankSide(neg, nil, state, eng.trust, eng.baseH, 1) == nil {
+					b.Fatal("no selection")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkBuildGroups(b *testing.B) {
 	d := benchWorld(10000)
 	b.ReportAllocs()
@@ -58,6 +154,23 @@ func BenchmarkIncEstimate(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkIncEstimateLarge runs full corroborations of the crawl-scale
+// world (120 sources, 50k facts, hundreds of conflicted groups).
+func BenchmarkIncEstimateLarge(b *testing.B) {
+	d := bigBenchWorld(120, 50000, 800)
+	for _, e := range []*IncEstimate{NewHeu(), NewScale()} {
+		e := e
+		b.Run(fmt.Sprintf("%s/50000", e.Name()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

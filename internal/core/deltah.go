@@ -1,0 +1,173 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"corroborate/internal/entropy"
+	"corroborate/internal/score"
+)
+
+// parallelRankThreshold is the candidate count above which the ∆H ranking
+// fans out to a bounded worker pool. Below it the sequential scorer wins:
+// each score costs microseconds and goroutine handoff would dominate. The
+// scores are identical either way — tests lower the threshold to force the
+// parallel path on small datasets.
+var parallelRankThreshold = 32
+
+// rankWorkers overrides the worker count of the parallel ranker; 0 (the
+// default) uses runtime.GOMAXPROCS. Tests raise it to exercise the
+// concurrent path on single-CPU machines.
+var rankWorkers = 0
+
+// syncBaseline refreshes the per-round entropy baseline: H(prob(FG)) for
+// every live group under the round's trust. Every ∆H candidate of the round
+// shares these "before" terms of Eq. 9, so they are computed once per round
+// instead of once per candidate×group pair.
+func (eng *engine) syncBaseline() {
+	for _, g := range eng.live {
+		if g.size() > 0 {
+			eng.baseH[g.ord] = entropy.H(eng.probs[g.ord])
+		}
+	}
+}
+
+// buildPosBaseline fills eng.posH with the entropy baseline for the
+// positive-side ranking, whose base state has already absorbed the negative
+// selection: groups sharing a source with fgNeg are recomputed under
+// afterTrust, every other group's probability is bitwise unchanged and its
+// baseline is copied from the round baseline.
+func (eng *engine) buildPosBaseline(fgNeg *group, afterTrust []float64) {
+	copy(eng.posH, eng.baseH)
+	eng.ensureNeighbors(fgNeg)
+	for _, ord := range eng.neighbors(fgNeg, &eng.seq) {
+		other := eng.groups[ord]
+		if other == fgNeg || other.size() == 0 {
+			continue
+		}
+		eng.posH[ord] = entropy.H(score.Corrob(other.votes, afterTrust))
+	}
+}
+
+// scoreDeltaH computes Eq. 9 for one candidate group against the base
+// state/trust, visiting only the groups that share a source with the
+// candidate (via the inverted index). For every skipped group the projected
+// trust equals the base trust bitwise, so its entropy delta is exactly zero
+// and the sum is unchanged; visited neighbors are accumulated in ascending
+// ordinal order — the iteration order of the reference implementation — so
+// the floating-point sum is bit-identical to the naive full scan.
+//
+// The candidate's hypothetical outcome comes from the cached round-start
+// probability (outcomeTrust == the round's σi(S) in every caller).
+func (eng *engine) scoreDeltaH(g, exclude *group, st *trustState, baseTrust, baseH []float64, scratch *rankScratch) float64 {
+	outcome := score.Normalize(eng.probs[g.ord])
+	projected := scratch.trust
+	copy(projected, baseTrust)
+	st.projectInto(g.votes, outcome, g.size(), projected)
+
+	var sum float64
+	for _, ord := range eng.neighbors(g, scratch) {
+		other := eng.groups[ord]
+		if other == g || other == exclude || other.size() == 0 {
+			continue
+		}
+		after := entropy.H(score.Corrob(other.votes, projected))
+		sum += float64(other.size()) * (after - baseH[ord])
+	}
+	return sum
+}
+
+// rankSide returns the candidate with the highest ∆H score against the
+// given base state, trust, and entropy baseline, excluding one group from
+// the Eq. 9 sum (the already-selected negative group, or nil). Candidates
+// are scored in parallel when numerous; the reduction runs sequentially in
+// candidate order and reproduces the reference tie-break exactly (score,
+// then size, then signature).
+func (eng *engine) rankSide(candidates []*group, exclude *group, st *trustState, baseTrust, baseH []float64, sign float64) *group {
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	if cap(eng.scores) < len(candidates) {
+		eng.scores = make([]float64, len(candidates))
+	}
+	scores := eng.scores[:len(candidates)]
+	// Neighbor lists are built (and the budget spent) before any fan-out,
+	// so the cache is strictly read-only inside the workers.
+	for _, g := range candidates {
+		eng.ensureNeighbors(g)
+	}
+	workers := rankWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(candidates) >= parallelRankThreshold && workers > 1 {
+		if workers > len(candidates) {
+			workers = len(candidates)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				scratch := eng.pool.Get().(*rankScratch)
+				defer eng.pool.Put(scratch)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(candidates) {
+						return
+					}
+					scores[i] = sign * eng.scoreDeltaH(candidates[i], exclude, st, baseTrust, baseH, scratch)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, g := range candidates {
+			scores[i] = sign * eng.scoreDeltaH(g, exclude, st, baseTrust, baseH, &eng.seq)
+		}
+	}
+	var best *group
+	bestScore := 0.0
+	for i, g := range candidates {
+		s := scores[i]
+		if best == nil || s > bestScore ||
+			(s == bestScore && (g.size() > best.size() ||
+				(g.size() == best.size() && g.signature < best.signature))) {
+			best, bestScore = g, s
+		}
+	}
+	return best
+}
+
+// extreme returns the live candidate with the highest (hi) or lowest cached
+// probability, with the reference tie-break (size, then signature).
+func (eng *engine) extreme(candidates []*group, hi bool) *group {
+	var best *group
+	var bestProb float64
+	for _, g := range candidates {
+		p := eng.probs[g.ord]
+		if !hi {
+			p = -p
+		}
+		if best == nil || p > bestProb ||
+			(p == bestProb && (g.size() > best.size() ||
+				(g.size() == best.size() && g.signature < best.signature))) {
+			best, bestProb = g, p
+		}
+	}
+	return best
+}
+
+// rankPositive runs the positive-side selection of a two-sided round: clone
+// the state, absorb the negative selection's outcome, rebuild the entropy
+// baseline for the groups the negative selection touched, and rank the
+// positive candidates against the projected state.
+func (eng *engine) rankPositive(pos []*group, fgNeg *group) *group {
+	afterNeg := eng.state.clone()
+	afterNeg.absorb(fgNeg.votes, score.Normalize(eng.probs[fgNeg.ord]), fgNeg.size())
+	afterTrust := afterNeg.vectorInto(eng.afterTrust)
+	eng.buildPosBaseline(fgNeg, afterTrust)
+	return eng.rankSide(pos, fgNeg, afterNeg, afterTrust, eng.posH, eng.cfg.sign())
+}

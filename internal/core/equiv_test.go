@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"corroborate/internal/synth"
+	"corroborate/internal/truth"
+)
+
+// refOf returns a copy of the configuration pinned to the retained naive
+// implementation.
+func refOf(e *IncEstimate) *IncEstimate {
+	r := *e
+	r.reference = true
+	return &r
+}
+
+// equivConfigs is the strategy/knob matrix the engine must reproduce
+// bit-for-bit.
+func equivConfigs() []*IncEstimate {
+	return []*IncEstimate{
+		NewHeu(),
+		NewPS(),
+		NewScale(),
+		{Strategy: SelectHybrid},
+		{SoftAbsorb: true},
+		{FlipDeltaH: true},
+		{AnchoredTrust: true},
+		{FullGroups: true},
+		{CandidateCap: 2},
+		{DeferBand: 0.1},
+		{InitialTrust: 0.7},
+		{MaxRounds: 3},
+		{Strategy: SelectScale, AnchoredTrust: true, DeferBand: 0.12},
+	}
+}
+
+// requireRunsIdentical asserts the two runs are byte-identical: same
+// probabilities, predictions, trust, and per-round trajectory. No epsilon —
+// the engine's caches are exact, so any drift is a bug.
+func requireRunsIdentical(t *testing.T, label string, got, want *Run) {
+	t.Helper()
+	if len(got.FactProb) != len(want.FactProb) {
+		t.Fatalf("%s: FactProb lengths %d vs %d", label, len(got.FactProb), len(want.FactProb))
+	}
+	for f := range want.FactProb {
+		if got.FactProb[f] != want.FactProb[f] {
+			t.Fatalf("%s: FactProb[%d] = %v, reference %v", label, f, got.FactProb[f], want.FactProb[f])
+		}
+		if got.Predictions[f] != want.Predictions[f] {
+			t.Fatalf("%s: Predictions[%d] = %v, reference %v", label, f, got.Predictions[f], want.Predictions[f])
+		}
+	}
+	if len(got.Trust) != len(want.Trust) {
+		t.Fatalf("%s: Trust lengths differ", label)
+	}
+	for s := range want.Trust {
+		if got.Trust[s] != want.Trust[s] {
+			t.Fatalf("%s: Trust[%d] = %v, reference %v", label, s, got.Trust[s], want.Trust[s])
+		}
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("%s: Iterations = %d, reference %d", label, got.Iterations, want.Iterations)
+	}
+	if len(got.Trajectory) != len(want.Trajectory) {
+		t.Fatalf("%s: trajectory length %d, reference %d", label, len(got.Trajectory), len(want.Trajectory))
+	}
+	for i := range want.Trajectory {
+		g, w := got.Trajectory[i], want.Trajectory[i]
+		if len(g.Evaluated) != len(w.Evaluated) {
+			t.Fatalf("%s: t%d evaluated %d facts, reference %d", label, i, len(g.Evaluated), len(w.Evaluated))
+		}
+		for j := range w.Evaluated {
+			if g.Evaluated[j] != w.Evaluated[j] {
+				t.Fatalf("%s: t%d selected fact %d, reference %d", label, i, g.Evaluated[j], w.Evaluated[j])
+			}
+		}
+		for s := range w.Trust {
+			if g.Trust[s] != w.Trust[s] {
+				t.Fatalf("%s: t%d trust[%d] = %v, reference %v", label, i, s, g.Trust[s], w.Trust[s])
+			}
+		}
+	}
+}
+
+func requireEquivalent(t *testing.T, label string, e *IncEstimate, d *truth.Dataset) {
+	t.Helper()
+	want, err := refOf(e).RunDetailed(d)
+	if err != nil {
+		t.Fatalf("%s: reference: %v", label, err)
+	}
+	got, err := e.RunDetailed(d)
+	if err != nil {
+		t.Fatalf("%s: engine: %v", label, err)
+	}
+	requireRunsIdentical(t, label, got, want)
+}
+
+// TestEngineMatchesReferenceMotivating: every strategy/knob combination
+// must reproduce the naive implementation exactly on the paper's Table 1.
+func TestEngineMatchesReferenceMotivating(t *testing.T) {
+	d := truth.MotivatingExample()
+	for i, e := range equivConfigs() {
+		requireEquivalent(t, fmt.Sprintf("cfg%d(%s)", i, e.Name()), e, d)
+	}
+}
+
+// TestEngineMatchesReferenceSynthetic: the paper's §6.3.1 generative worlds
+// produce large correlated fact groups — the regime the inverted index is
+// built for.
+func TestEngineMatchesReferenceSynthetic(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		w, err := synth.Generate(synth.Config{
+			Facts: 1500, AccurateSources: 6, InaccurateSources: 3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range []*IncEstimate{NewHeu(), NewPS(), NewScale(), {AnchoredTrust: true}} {
+			requireEquivalent(t, fmt.Sprintf("seed%d/%s", seed, e.Name()), e, w.Dataset)
+		}
+	}
+}
+
+// TestEngineMatchesReferenceRandom: randomized property check across the
+// knob matrix. This is the per-round selection property from the issue in
+// its strongest form: identical Evaluated sets at every time point.
+func TestEngineMatchesReferenceRandom(t *testing.T) {
+	configs := equivConfigs()
+	prop := func(seed uint64, nsRaw, nfRaw uint8) bool {
+		sources := 1 + int(nsRaw%9)
+		facts := 1 + int(nfRaw%80)
+		d := randomDataset(seed, sources, facts)
+		for i, e := range configs {
+			want, err1 := refOf(e).RunDetailed(d)
+			got, err2 := e.RunDetailed(d)
+			if (err1 == nil) != (err2 == nil) {
+				t.Logf("seed=%d cfg%d: error mismatch %v vs %v", seed, i, err1, err2)
+				return false
+			}
+			if err1 != nil {
+				continue
+			}
+			requireRunsIdentical(t, fmt.Sprintf("seed=%d cfg%d(%s)", seed, i, e.Name()), got, want)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelRankerEquivalence forces the parallel ∆H path on datasets
+// small enough that the default threshold would keep them sequential, and
+// asserts the result still matches the reference bit-for-bit (under -race
+// this also proves the worker pool is data-race free).
+func TestParallelRankerEquivalence(t *testing.T) {
+	old, oldWorkers := parallelRankThreshold, rankWorkers
+	parallelRankThreshold, rankWorkers = 2, 4
+	defer func() { parallelRankThreshold, rankWorkers = old, oldWorkers }()
+
+	d := truth.MotivatingExample()
+	for i, e := range equivConfigs() {
+		requireEquivalent(t, fmt.Sprintf("cfg%d(%s)", i, e.Name()), e, d)
+	}
+	for _, seed := range []uint64{3, 11, 42} {
+		wide := randomDataset(seed, 8, 120)
+		for _, e := range []*IncEstimate{NewHeu(), {Strategy: SelectHybrid}, {FlipDeltaH: true}} {
+			requireEquivalent(t, fmt.Sprintf("wide seed=%d %s", seed, e.Name()), e, wide)
+		}
+	}
+}
+
+// TestParallelRankerDeterminism: repeated runs through the parallel ranker
+// are identical — the reduction is ordered, never first-done-wins.
+func TestParallelRankerDeterminism(t *testing.T) {
+	old, oldWorkers := parallelRankThreshold, rankWorkers
+	parallelRankThreshold, rankWorkers = 2, 4
+	defer func() { parallelRankThreshold, rankWorkers = old, oldWorkers }()
+
+	d := randomDataset(99, 7, 150)
+	base, err := NewHeu().RunDetailed(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		again, err := NewHeu().RunDetailed(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRunsIdentical(t, fmt.Sprintf("repeat %d", i), again, base)
+	}
+}

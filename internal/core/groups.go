@@ -28,6 +28,12 @@ type group struct {
 	signature string
 	votes     []truth.SourceVote // the shared posting list
 	facts     []int              // remaining (unevaluated) member facts, ascending
+	// ord is the group's stable position in the signature-sorted order of
+	// buildGroups. Compaction preserves relative order, so iterating live
+	// groups always visits ascending ordinals — the invariant the
+	// incremental ∆H engine relies on to accumulate floating-point sums in
+	// exactly the order of the reference implementation.
+	ord int
 }
 
 // size returns the number of unevaluated facts left in the group.
@@ -44,12 +50,15 @@ func (g *group) prob(trust []float64) float64 {
 // form their own group (empty signature) and corroborate to 0.5.
 func buildGroups(d *truth.Dataset) []*group {
 	bySig := make(map[string]*group)
+	buf := make([]byte, 0, 64)
 	for f := 0; f < d.NumFacts(); f++ {
-		sig := d.Signature(f)
-		g, ok := bySig[sig]
+		buf = d.AppendSignature(buf[:0], f)
+		// The map lookup on string(buf) does not allocate; only a newly
+		// discovered signature pays for the string conversion.
+		g, ok := bySig[string(buf)]
 		if !ok {
-			g = &group{signature: sig, votes: d.VotesOnFact(f)}
-			bySig[sig] = g
+			g = &group{signature: string(buf), votes: d.VotesOnFact(f)}
+			bySig[g.signature] = g
 		}
 		g.facts = append(g.facts, f)
 	}
@@ -58,6 +67,9 @@ func buildGroups(d *truth.Dataset) []*group {
 		out = append(out, g)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].signature < out[j].signature })
+	for i, g := range out {
+		g.ord = i
+	}
 	return out
 }
 

@@ -114,6 +114,11 @@ type IncEstimate struct {
 	// unconflicted facts undecided as long as possible. 0 disables
 	// deferral (the literal Algorithm 2).
 	DeferBand float64
+	// reference forces the retained naive implementation instead of the
+	// incremental ∆H engine. The two are equivalence-tested to produce
+	// byte-identical output (equiv_test.go); the knob exists only so the
+	// tests can run both paths, which is why it is unexported.
+	reference bool
 }
 
 // TimePoint records one round of the incremental algorithm for trajectory
@@ -158,7 +163,192 @@ func (e *IncEstimate) RunDetailed(d *truth.Dataset) (*Run, error) {
 	if init < 0 || init > 1 {
 		return nil, fmt.Errorf("core: initial trust %v out of [0, 1]", init)
 	}
+	if e.reference {
+		return e.runReference(d, init)
+	}
+	return e.runEngine(d, init)
+}
 
+// runEngine is the incremental realization of Algorithm 1: identical
+// round structure to runReference, with every trust-vector read, group
+// probability, and ∆H entropy term served from the engine's exact caches
+// (see index.go and deltah.go).
+func (e *IncEstimate) runEngine(d *truth.Dataset, init float64) (*Run, error) {
+	groups := buildGroups(d)
+	state := newTrustState(d.NumSources(), init)
+	if e.AnchoredTrust {
+		state.enableAnchors()
+	}
+	result := truth.NewResult(e.Name(), d)
+	run := &Run{Result: result}
+	eng := newEngine(e, d, state, groups, result)
+
+	remaining := d.NumFacts()
+	round := 0
+	for remaining > 0 {
+		eng.syncTrust()
+		if e.AnchoredTrust {
+			// Anchors use the cached probabilities under the previous
+			// round's trust, then move every source's trust — sync again.
+			eng.refreshAnchors()
+			eng.syncTrust()
+		}
+		if e.MaxRounds > 0 && round >= e.MaxRounds {
+			eng.evaluateAll(run)
+			break
+		}
+		var evaluated []int
+		switch e.Strategy {
+		case SelectPS:
+			evaluated = eng.stepPS()
+		default:
+			evaluated = eng.stepBalanced()
+		}
+		if len(evaluated) == 0 {
+			return nil, fmt.Errorf("core: round %d selected no facts with %d remaining", round, remaining)
+		}
+		remaining -= len(evaluated)
+		eng.compact()
+		eng.syncTrust()
+		run.Trajectory = append(run.Trajectory, TimePoint{
+			Trust:     append([]float64(nil), eng.trust...),
+			Evaluated: evaluated,
+		})
+		round++
+	}
+
+	if e.AnchoredTrust {
+		// Every fact is decided: the final trust is the hard average over
+		// each source's full posting list.
+		eng.refreshAnchors()
+	}
+	result.Trust = state.vector()
+	result.Iterations = len(run.Trajectory)
+	result.Finalize()
+	return run, nil
+}
+
+// stepBalanced is the engine counterpart of the reference stepBalanced: one
+// time point of Algorithm 2 served from the cached probabilities.
+func (eng *engine) stepBalanced() []int {
+	e := eng.cfg
+	if e.Strategy == SelectHeu || e.Strategy == SelectHybrid {
+		eng.syncBaseline()
+	}
+	var pos, neg []*group
+	deferred := 0
+	for _, g := range eng.live {
+		if g.size() == 0 {
+			continue
+		}
+		p := eng.probs[g.ord]
+		switch {
+		case p > truth.Threshold:
+			pos = append(pos, g)
+		case e.Strategy == SelectScale && !g.conflicted() && g.backedByPositive(eng.trust):
+			pos = append(pos, g)
+		case e.DeferBand > 0 && p > truth.Threshold-e.DeferBand && !g.conflicted():
+			deferred++
+		default:
+			neg = append(neg, g)
+		}
+	}
+	if len(pos) == 0 && len(neg) == 0 {
+		var all []*group
+		for _, g := range eng.live {
+			if g.size() > 0 {
+				all = append(all, g)
+			}
+		}
+		return eng.evaluateBatch(all)
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		side := pos
+		if len(pos) == 0 {
+			side = neg
+		}
+		if deferred == 0 {
+			return eng.evaluateBatch(side)
+		}
+		var g *group
+		switch {
+		case e.Strategy == SelectScale && len(pos) > 0:
+			g = eng.extreme(side, true)
+		case e.Strategy == SelectScale:
+			g = eng.extreme(side, false)
+		default:
+			g = eng.rankSide(side, nil, eng.state, eng.trust, eng.baseH, e.sign())
+		}
+		return eng.evaluate(g, g.size())
+	}
+	var fgNeg, fgPos *group
+	if e.Strategy == SelectScale {
+		fgNeg = eng.extreme(neg, false)
+		fgPos = largest(pos)
+	} else if e.Strategy == SelectHybrid {
+		fgNeg = eng.extreme(neg, false)
+		fgPos = eng.rankPositive(pos, fgNeg)
+	} else {
+		pos = e.capCandidates(pos)
+		neg = e.capCandidates(neg)
+		fgNeg = eng.rankSide(neg, nil, eng.state, eng.trust, eng.baseH, e.sign())
+		fgPos = eng.rankPositive(pos, fgNeg)
+	}
+	probNeg := eng.probs[fgNeg.ord]
+	probPos := eng.probs[fgPos.ord]
+	if e.Strategy == SelectScale && probNeg >= truth.Threshold {
+		probNeg = nextBelowThreshold
+	}
+
+	n := fgPos.size()
+	if fgNeg.size() < n {
+		n = fgNeg.size()
+	}
+	if e.FullGroups {
+		if fgNeg.size() > n {
+			n = fgNeg.size()
+		}
+	}
+	factsNeg := fgNeg.take(n)
+	factsPos := fgPos.take(n)
+	for _, f := range factsNeg {
+		eng.result.FactProb[f] = probNeg
+	}
+	for _, f := range factsPos {
+		eng.result.FactProb[f] = probPos
+	}
+	eng.state.absorb(fgNeg.votes, outcome(probNeg, e.SoftAbsorb), n)
+	eng.state.absorb(fgPos.votes, outcome(probPos, e.SoftAbsorb), n)
+	out := make([]int, 0, len(factsNeg)+len(factsPos))
+	out = append(out, factsNeg...)
+	return append(out, factsPos...)
+}
+
+// stepPS is the engine counterpart of the reference stepPS.
+func (eng *engine) stepPS() []int {
+	var best *group
+	bestProb := -1.0
+	for _, g := range eng.live {
+		if g.size() == 0 {
+			continue
+		}
+		p := eng.probs[g.ord]
+		if p > bestProb ||
+			(p == bestProb && (g.size() > best.size() ||
+				(g.size() == best.size() && g.signature < best.signature))) {
+			best, bestProb = g, p
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return eng.evaluate(best, best.size())
+}
+
+// runReference is the pre-engine implementation, retained verbatim as the
+// semantic reference: the equivalence suite asserts the engine produces
+// byte-identical Result and Trajectory output on every strategy and knob.
+func (e *IncEstimate) runReference(d *truth.Dataset, init float64) (*Run, error) {
 	groups := buildGroups(d)
 	state := newTrustState(d.NumSources(), init)
 	if e.AnchoredTrust {

@@ -58,11 +58,17 @@ func (t *trustState) trust(s int) float64 {
 // vector materializes the whole trust vector; the returned slice is owned
 // by the caller.
 func (t *trustState) vector() []float64 {
-	out := make([]float64, len(t.credit))
-	for s := range out {
-		out[s] = t.trust(s)
+	return t.vectorInto(make([]float64, len(t.credit)))
+}
+
+// vectorInto fills dst (len == sources) with the current trust vector and
+// returns it; hot paths reuse one per-run buffer instead of allocating a
+// fresh vector every round.
+func (t *trustState) vectorInto(dst []float64) []float64 {
+	for s := range dst {
+		dst[s] = t.trust(s)
 	}
-	return out
+	return dst
 }
 
 // absorb records the evaluation of count facts sharing the given posting
@@ -99,6 +105,17 @@ func (t *trustState) project(votes []truth.SourceVote, normProb float64, count i
 	for s := range scratch {
 		scratch[s] = t.trust(s)
 	}
+	t.projectInto(votes, normProb, count, scratch)
+	return scratch
+}
+
+// projectInto overwrites dst's entries for the posting list's sources with
+// the trust each would have after evaluating count facts with the given
+// normalized outcome. dst must already hold the state's current trust for
+// every other source; the incremental ∆H engine memcopies a cached vector
+// into dst and lets projectInto touch only the |votes| entries that can
+// actually move.
+func (t *trustState) projectInto(votes []truth.SourceVote, normProb float64, count int, dst []float64) {
 	for _, sv := range votes {
 		credit := t.credit[sv.Source] + float64(count)*score.SourceCredit(sv.Vote, normProb)
 		n := float64(t.count[sv.Source] + count)
@@ -106,7 +123,6 @@ func (t *trustState) project(votes []truth.SourceVote, normProb float64, count i
 			credit += t.anchorCredit[sv.Source]
 			n += t.anchorCount[sv.Source]
 		}
-		scratch[sv.Source] = credit / n
+		dst[sv.Source] = credit / n
 	}
-	return scratch
 }

@@ -1,0 +1,37 @@
+#!/bin/sh
+# bench.sh — run the perf-trajectory benchmarks (core, score, entropy,
+# truth) and emit a BENCH_N.json mapping benchmark name → ns/op and
+# allocs/op. The "baseline" section is parsed from scripts/baseline_seed.txt,
+# the raw benchmark output captured at the pre-engine seed, so every future
+# run is compared against the same fixed starting point.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_1.json)
+#        BENCHTIME=2s scripts/bench.sh    to change -benchtime
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_1.json}
+BENCHTIME=${BENCHTIME:-1s}
+PKGS="./internal/core ./internal/score ./internal/entropy ./internal/truth"
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
+
+{
+	echo '{'
+	echo '  "generated_by": "scripts/bench.sh",'
+	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	echo '  "baseline_note": "pre-engine seed (see scripts/baseline_seed.txt)",'
+	echo '  "baseline": {'
+	awk -f scripts/bench_json.awk scripts/baseline_seed.txt
+	echo '  },'
+	echo '  "current": {'
+	awk -f scripts/bench_json.awk "$RAW"
+	echo '  }'
+	echo '}'
+} >"$OUT"
+
+echo "wrote $OUT"

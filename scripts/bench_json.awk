@@ -1,0 +1,19 @@
+# bench_json.awk — convert `go test -bench -benchmem` output lines into
+# JSON object members: "name": {"ns_per_op": ..., "allocs_per_op": ...}.
+# The trailing -N GOMAXPROCS suffix is stripped so runs from machines with
+# different core counts stay comparable.
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""
+	allocs = "null"
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	lines[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+}
+END {
+	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+}
