@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test test-invariants vet lint race check bench fuzz-smoke
 
 all: build
 
@@ -10,19 +11,40 @@ build:
 test:
 	$(GO) test ./...
 
+# test-invariants re-runs the suite with the runtime assertion layer
+# (internal/invariant) compiled in: probability/entropy/trust invariants
+# panic instead of silently corrupting results.
+test-invariants:
+	$(GO) test -tags invariants ./...
+
 vet:
 	$(GO) vet ./...
+
+# lint runs corrolint, the repository's domain-aware static-analysis suite
+# (floatexact, logguard, mapdet, globalrand, gonosync); see cmd/corrolint.
+lint:
+	$(GO) run ./cmd/corrolint ./...
 
 # The race target covers internal/core, where the parallel ∆H ranker lives;
 # the equivalence tests force the concurrent path even on one CPU.
 race:
 	$(GO) test -race ./internal/core/...
 
-# check is the CI gate: compile, static checks, the full test suite, and
-# the race detector.
-check: build vet test race
+# check is the CI gate: compile, static checks (vet + corrolint), the full
+# test suite with and without runtime invariants, and the race detector.
+check: build vet lint test test-invariants race
 
 # bench runs the core/score/entropy/truth benchmarks and refreshes
 # BENCH_1.json (see scripts/bench.sh).
 bench:
 	sh scripts/bench.sh
+
+# fuzz-smoke gives every fuzz target a short budget (FUZZTIME each) — enough
+# to catch regressions in the parsers and normalizers without tying up CI.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseVote -fuzztime=$(FUZZTIME) ./internal/truth
+	$(GO) test -run='^$$' -fuzz=FuzzParseLabel -fuzztime=$(FUZZTIME) ./internal/truth
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/truth
+	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/truth
+	$(GO) test -run='^$$' -fuzz=FuzzNormalizeAddress -fuzztime=$(FUZZTIME) ./internal/dedup
+	$(GO) test -run='^$$' -fuzz=FuzzSimilarity -fuzztime=$(FUZZTIME) ./internal/dedup

@@ -1,0 +1,114 @@
+// Command corrolint runs the repository's domain-aware static-analysis
+// suite over Go packages: five analyzers guarding the numeric-determinism
+// contract of the corroboration pipeline (see internal/lint).
+//
+// Usage:
+//
+//	corrolint [-only name1,name2] [-v] [packages...]
+//
+// Package patterns resolve like the go tool's: "./..." walks the module,
+// a plain path names one directory. With no patterns, "./..." is assumed.
+// Findings print as file:line:col [analyzer] message; the exit status is 1
+// when any finding survives suppression, 2 on usage or load errors.
+//
+// Suppress an individual finding with a justified ignore comment on the
+// line above (or trailing on the offending line):
+//
+//	//lint:ignore mapdet keys are sorted two lines down, out of this func
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"corroborate/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	verbose := flag.Bool("v", false, "log analyzed packages and soft type errors")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: corrolint [-only name1,name2] [-v] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.AnalyzersByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corrolint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corrolint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corrolint:", err)
+		os.Exit(2)
+	}
+	dirs, err := lint.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corrolint:", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	total := 0
+	for _, dir := range dirs {
+		pkgs, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corrolint: %s: %v\n", dir, err)
+			exit = 2
+			continue
+		}
+		for _, pkg := range pkgs {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "corrolint: analyzing %s (%d files)\n", pkg.ImportPath, len(pkg.Files))
+				for _, terr := range pkg.TypeErrors {
+					fmt.Fprintf(os.Stderr, "corrolint: note: %v\n", terr)
+				}
+			}
+			for _, f := range lint.Run(pkg, analyzers) {
+				f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+				fmt.Println(f)
+				total++
+			}
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "corrolint: %d finding(s)\n", total)
+		if exit == 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// relPath shortens absolute paths under the working directory for readable,
+// clickable reports.
+func relPath(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

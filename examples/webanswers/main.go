@@ -99,6 +99,7 @@ func learnTrust(c corroborate.AnswerCorroborator, queries []corroborate.Query, i
 		next := map[string]float64{}
 		for s, n := range total {
 			// Laplace smoothing keeps every source away from 0 and 1.
+			//lint:ignore logguard n is a non-negative appearance count, so the smoothed divisor n+2 is ≥ 2
 			next[s] = (wins[s] + 1) / (n + 2)
 		}
 		trust = next

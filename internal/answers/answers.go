@@ -186,13 +186,18 @@ func (c Corroborator) Rank(extractions []Extraction) ([]RankedAnswer, error) {
 			}
 			rawCount[e.Answer]++
 		}
-		miss := 1.0
 		sources := make([]string, 0, len(bestRank))
-		for src, rank := range bestRank {
-			miss *= 1 - c.trustOf(src)*math.Pow(c.ProminenceDecay, float64(rank))
+		for src := range bestRank {
 			sources = append(sources, src)
 		}
 		sort.Strings(sources)
+		// Multiply in sorted source order: float multiplication is not
+		// associative, so folding in map iteration order would let the score
+		// vary run to run.
+		miss := 1.0
+		for _, src := range sources {
+			miss *= 1 - c.trustOf(src)*math.Pow(c.ProminenceDecay, float64(bestRank[src]))
+		}
 		rep, repCount := "", 0
 		for raw, n := range rawCount {
 			if n > repCount || (n == repCount && raw < rep) {

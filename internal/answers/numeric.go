@@ -182,6 +182,7 @@ func sameNumber(a, b parsedNumber) bool {
 	if hi < lo {
 		hi, lo = lo, hi
 	}
+	//lint:ignore floatexact exact fast path of a relative-tolerance comparator; the epsilon logic is the line below
 	if hi == lo {
 		return true
 	}

@@ -111,6 +111,7 @@ func Plan(d *truth.Dataset, r *truth.Result, k int, opts Options) ([]Item, error
 				continue
 			}
 			gain := c.base * pow(damp, used[c.sig])
+			//lint:ignore floatexact argmax tie-break on identically-computed gains; an epsilon would merge distinct gains and change which fact is audited
 			if gain > bestGain || (gain == bestGain && bestIdx >= 0 && c.fact < cands[bestIdx].fact) {
 				bestIdx, bestGain = i, gain
 			}

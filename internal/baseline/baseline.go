@@ -70,7 +70,7 @@ func (Counting) Run(d *truth.Dataset) (*truth.Result, error) {
 		r.FactProb[f] = frac
 		// "more than half the sources" is a strict majority: exactly
 		// half does not qualify.
-		if frac == 0.5 {
+		if score.ApproxEqual(frac, 0.5) {
 			r.FactProb[f] = 0.499999
 		}
 	}

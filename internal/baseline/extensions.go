@@ -230,6 +230,11 @@ func (a AvgLog) Run(d *truth.Dataset) (*truth.Result, error) {
 	}
 	return prStyle(a.Name(), d, maxIter,
 		func(avg float64, claims int) float64 {
+			if claims < 1 {
+				// prStyle only calls this for sources with claims, but keep
+				// the log argument provably positive: log(0+1) = 0 anyway.
+				return 0
+			}
 			return avg * math.Log(float64(claims)+1)
 		},
 		func(b float64) float64 { return b })

@@ -164,7 +164,9 @@ func (e *Estimate) Run(d *truth.Dataset) (*truth.Result, error) {
 			nT, nFalse := float64(nTrue), totalF-1-float64(nTrue)
 			for s := 0; s < nS; s++ {
 				// Predictive Bernoulli probabilities under each truth.
+				//lint:ignore logguard divisor = non-negative count plus strictly positive Beta pseudo-counts, provably > 0
 				phi1 := (posTrue[s] + p.a1t) / (nT + p.a1t + p.a1f)
+				//lint:ignore logguard divisor = non-negative count plus strictly positive Beta pseudo-counts, provably > 0
 				phi0 := (posFalse[s] + p.a0t) / (nFalse + p.a0t + p.a0f)
 				if d.Vote(f, s) == truth.Affirm {
 					logOdds += logRatio(phi1, phi0)
@@ -172,6 +174,7 @@ func (e *Estimate) Run(d *truth.Dataset) (*truth.Result, error) {
 					logOdds += logRatio(1-phi1, 1-phi0)
 				}
 			}
+			//lint:ignore logguard divisor = totalF-1 ≥ 0 (f itself is held out) plus strictly positive Beta pseudo-counts, provably > 0
 			logOdds += logRatio((nT+p.bt)/(totalF-1+p.bt+p.bf), (nFalse+p.bf)/(totalF-1+p.bt+p.bf))
 			pt := 1 / (1 + math.Exp(-logOdds))
 			t[f] = rng.Float64() < pt

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"corroborate/internal/entropy"
+	"corroborate/internal/invariant"
 	"corroborate/internal/score"
 )
 
@@ -75,6 +76,7 @@ func (eng *engine) scoreDeltaH(g, exclude *group, st *trustState, baseTrust, bas
 		after := entropy.H(score.Corrob(other.votes, projected))
 		sum += float64(other.size()) * (after - baseH[ord])
 	}
+	invariant.Finite("∆H score", sum)
 	return sum
 }
 
@@ -133,6 +135,7 @@ func (eng *engine) rankSide(candidates []*group, exclude *group, st *trustState,
 	for i, g := range candidates {
 		s := scores[i]
 		if best == nil || s > bestScore ||
+			//lint:ignore floatexact tie-break must match the reference bit-for-bit; the byte-identical equivalence contract forbids an epsilon here
 			(s == bestScore && (g.size() > best.size() ||
 				(g.size() == best.size() && g.signature < best.signature))) {
 			best, bestScore = g, s
@@ -152,6 +155,7 @@ func (eng *engine) extreme(candidates []*group, hi bool) *group {
 			p = -p
 		}
 		if best == nil || p > bestProb ||
+			//lint:ignore floatexact tie-break must match the reference bit-for-bit; the byte-identical equivalence contract forbids an epsilon here
 			(p == bestProb && (g.size() > best.size() ||
 				(g.size() == best.size() && g.signature < best.signature))) {
 			best, bestProb = g, p

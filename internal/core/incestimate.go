@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"corroborate/internal/entropy"
+	"corroborate/internal/invariant"
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
@@ -223,6 +224,7 @@ func (e *IncEstimate) runEngine(d *truth.Dataset, init float64) (*Run, error) {
 		eng.refreshAnchors()
 	}
 	result.Trust = state.vector()
+	invariant.TrustNormalized("IncEstimate trust", result.Trust)
 	result.Iterations = len(run.Trajectory)
 	result.Finalize()
 	return run, nil
@@ -334,6 +336,7 @@ func (eng *engine) stepPS() []int {
 		}
 		p := eng.probs[g.ord]
 		if p > bestProb ||
+			//lint:ignore floatexact tie-break must match the reference bit-for-bit; the byte-identical equivalence contract forbids an epsilon here
 			(p == bestProb && (g.size() > best.size() ||
 				(g.size() == best.size() && g.signature < best.signature))) {
 			best, bestProb = g, p
@@ -398,6 +401,7 @@ func (e *IncEstimate) runReference(d *truth.Dataset, init float64) (*Run, error)
 		refreshAnchors(state, nil, prevTrust)
 	}
 	result.Trust = state.vector()
+	invariant.TrustNormalized("IncEstimate reference trust", result.Trust)
 	result.Iterations = len(run.Trajectory)
 	result.Finalize()
 	return run, nil
@@ -408,6 +412,7 @@ func (e *IncEstimate) runReference(d *truth.Dataset, init float64) (*Run, error)
 // state, and returns the evaluated fact indices.
 func evaluate(g *group, n int, state *trustState, result *truth.Result, soft bool) []int {
 	p := g.prob(state.vector())
+	invariant.Prob01("evaluated group probability", p)
 	facts := g.take(n)
 	for _, f := range facts {
 		result.FactProb[f] = p
@@ -654,6 +659,7 @@ func argmaxDeltaHWithOutcome(candidates, all []*group, state *trustState, trust,
 	for _, g := range candidates {
 		s := sign * deltaH(g, all, state, trust, outcomeTrust, scratch)
 		if best == nil || s > bestScore ||
+			//lint:ignore floatexact tie-break must match the reference bit-for-bit; the byte-identical equivalence contract forbids an epsilon here
 			(s == bestScore && (g.size() > best.size() ||
 				(g.size() == best.size() && g.signature < best.signature))) {
 			best, bestScore = g, s
@@ -675,6 +681,7 @@ func deltaH(g *group, all []*group, state *trustState, trust, outcomeTrust []flo
 		after := entropy.H(other.prob(projected))
 		sum += float64(other.size()) * (after - before)
 	}
+	invariant.Finite("∆H score", sum)
 	return sum
 }
 
@@ -715,6 +722,7 @@ func extremeProb(candidates []*group, trust []float64, hi bool) *group {
 			p = -p
 		}
 		if best == nil || p > bestProb ||
+			//lint:ignore floatexact tie-break must match the reference bit-for-bit; the byte-identical equivalence contract forbids an epsilon here
 			(p == bestProb && (g.size() > best.size() ||
 				(g.size() == best.size() && g.signature < best.signature))) {
 			best, bestProb = g, p
@@ -736,6 +744,7 @@ func (e *IncEstimate) stepPS(groups []*group, state *trustState, result *truth.R
 		}
 		p := g.prob(trust)
 		if p > bestProb ||
+			//lint:ignore floatexact tie-break must match the reference bit-for-bit; the byte-identical equivalence contract forbids an epsilon here
 			(p == bestProb && (g.size() > best.size() ||
 				(g.size() == best.size() && g.signature < best.signature))) {
 			best, bestProb = g, p

@@ -202,6 +202,7 @@ func (eng *engine) neighbors(g *group, scratch *rankScratch) []int32 {
 func (eng *engine) syncTrust() {
 	for s, old := range eng.trust {
 		nt := eng.state.trust(s)
+		//lint:ignore floatexact change detection on a cached copy of the same computation; an epsilon would skip real sub-epsilon trust moves and break bit-identity with the reference
 		if nt == old {
 			continue
 		}

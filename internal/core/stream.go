@@ -156,6 +156,7 @@ func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
 			// in the scale profile's batch rounds.
 			if p <= truth.Threshold && !g.conflicted() && g.backedByPositive(gTrust) {
 				p = truth.Threshold // confirmed by a positive backer
+				//lint:ignore floatexact the scale profile defines a conflicted group at exactly the threshold as undecided; an epsilon band would flip near-threshold decisions
 			} else if p == truth.Threshold && g.conflicted() {
 				p = nextBelowThreshold
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"corroborate/internal/invariant"
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
@@ -76,6 +77,7 @@ func (t *trustState) vectorInto(dst []float64) []float64 {
 // decided true, 0 for false; the paper's Update_Trust considers the
 // probability to be 1 for true facts).
 func (t *trustState) absorb(votes []truth.SourceVote, normProb float64, count int) {
+	invariant.Prob01("absorbed outcome", normProb)
 	for _, sv := range votes {
 		t.credit[sv.Source] += float64(count) * score.SourceCredit(sv.Vote, normProb)
 		t.count[sv.Source] += count
@@ -122,6 +124,13 @@ func (t *trustState) projectInto(votes []truth.SourceVote, normProb float64, cou
 		if t.anchorCredit != nil {
 			credit += t.anchorCredit[sv.Source]
 			n += t.anchorCount[sv.Source]
+		}
+		if n == 0 {
+			// Zero evaluated mass (a hypothetical projection of zero
+			// facts): fall back to the default trust exactly as trust()
+			// does, instead of dividing 0/0 into NaN.
+			dst[sv.Source] = t.defaultTrust
+			continue
 		}
 		dst[sv.Source] = credit / n
 	}

@@ -1,6 +1,9 @@
 package dedup
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // counts builds a frequency vector over the given items.
 func counts(items []string) map[string]float64 {
@@ -16,14 +19,29 @@ func Cosine(a, b map[string]float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
+	// Accumulate in sorted key order: float addition is not associative, so
+	// summing in map iteration order would make the similarity score depend
+	// on the run (and trip corrolint's mapdet analyzer).
+	keysA := make([]string, 0, len(a))
+	for k := range a {
+		keysA = append(keysA, k)
+	}
+	sort.Strings(keysA)
+	keysB := make([]string, 0, len(b))
+	for k := range b {
+		keysB = append(keysB, k)
+	}
+	sort.Strings(keysB)
 	var dot, na, nb float64
-	for k, va := range a {
+	for _, k := range keysA {
+		va := a[k]
 		na += va * va
 		if vb, ok := b[k]; ok {
 			dot += va * vb
 		}
 	}
-	for _, vb := range b {
+	for _, k := range keysB {
+		vb := b[k]
 		nb += vb * vb
 	}
 	if na == 0 || nb == 0 {

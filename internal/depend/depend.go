@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"corroborate/internal/invariant"
 	"corroborate/internal/truth"
 )
 
@@ -88,6 +89,11 @@ func Score(d *truth.Dataset, r *truth.Result, opts Options) (Matrix, error) {
 	}
 	n := d.NumSources()
 	eps, c := opts.ErrorRate, opts.CopyRate
+	// withDefaults has validated all three rates into the open unit interval,
+	// so every log/division argument below is strictly positive.
+	invariant.OpenUnit("depend error rate", eps)
+	invariant.OpenUnit("depend copy rate", c)
+	invariant.OpenUnit("depend prior", opts.Prior)
 	priorOdds := math.Log(opts.Prior / (1 - opts.Prior))
 
 	// Per-fact log-likelihood ratios P(obs|dep)/P(obs|indep). Shared
@@ -150,6 +156,11 @@ func (m Matrix) Weights() []float64 {
 			if t != s {
 				dep += p
 			}
+		}
+		if dep < 0 {
+			// Posteriors are probabilities, so dep ≥ 0 always holds; the
+			// clamp keeps the divisor 1+dep provably ≥ 1.
+			dep = 0
 		}
 		w[s] = 1 / (1 + dep)
 	}

@@ -4,20 +4,29 @@
 // collective entropy of a set of unknown facts.
 package entropy
 
-import "math"
+import (
+	"math"
+
+	"corroborate/internal/invariant"
+)
 
 // H is the binary entropy (Eq. 3 of the paper) of a probability p, in bits:
 //
 //	H(p) = -p·log2(p) - (1-p)·log2(1-p)
 //
 // H(0) = H(1) = 0 (no uncertainty) and H(0.5) = 1 (maximum uncertainty).
-// Inputs are clamped to [0, 1] so callers may pass values with floating-point
-// drift just outside the interval.
+// Inputs are clamped to [0, 1] so callers may pass values with
+// floating-point drift just outside the interval; NaN also resolves to 0
+// rather than poisoning a collective-entropy sum (the condition below is
+// written positively so NaN fails it, instead of a <=/>= pair that NaN
+// would slip through straight into math.Log2).
 func H(p float64) float64 {
-	if p <= 0 || p >= 1 {
+	if !(p > 0 && p < 1) {
 		return 0
 	}
-	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	h := -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	invariant.NonNegEntropy("entropy.H", h)
+	return h
 }
 
 // Collective is the collective entropy H(F̄) of a set of unknown facts: the
@@ -27,6 +36,7 @@ func Collective(probs []float64) float64 {
 	for _, p := range probs {
 		sum += H(p)
 	}
+	invariant.NonNegEntropy("entropy.Collective", sum)
 	return sum
 }
 
@@ -38,5 +48,6 @@ func Weighted(probs []float64, weights []int) float64 {
 	for i, p := range probs {
 		sum += float64(weights[i]) * H(p)
 	}
+	invariant.NonNegEntropy("entropy.Weighted", sum)
 	return sum
 }

@@ -30,6 +30,32 @@ func TestHClampsOutOfRange(t *testing.T) {
 	}
 }
 
+// TestHBoundaryAndNaN pins the exact boundary behavior the invariant layer
+// relies on: the endpoints are exactly zero (not merely small), NaN resolves
+// to zero instead of poisoning downstream sums, and infinities are treated
+// like any other out-of-domain input. Meaningful under -tags invariants too:
+// a NaN slipping through the boundary check would panic NonNegEntropy.
+func TestHBoundaryAndNaN(t *testing.T) {
+	for _, p := range []float64{0, 1, math.NaN(), math.Inf(1), math.Inf(-1), -0.0} {
+		h := H(p)
+		if h != 0 {
+			t.Errorf("H(%v) = %v, want exactly 0", p, h)
+		}
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Errorf("H(%v) = %v, must be finite", p, h)
+		}
+	}
+	// A NaN inside a batch must not poison the rest of the sum.
+	got := Collective([]float64{0.5, math.NaN(), 0.5})
+	if math.IsNaN(got) || math.Abs(got-2) > 1e-12 {
+		t.Errorf("Collective with embedded NaN = %v, want 2", got)
+	}
+	wgot := Weighted([]float64{math.NaN(), 0.5}, []int{7, 4})
+	if math.IsNaN(wgot) || math.Abs(wgot-4) > 1e-12 {
+		t.Errorf("Weighted with embedded NaN = %v, want 4", wgot)
+	}
+}
+
 func TestHProperties(t *testing.T) {
 	// Symmetry, bounds, and maximum at 0.5 over the whole domain.
 	f := func(x float64) bool {

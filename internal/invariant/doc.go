@@ -1,0 +1,20 @@
+// Package invariant provides runtime assertions for the numeric invariants
+// the corroboration pipeline depends on: probabilities stay in [0, 1]
+// (Eq. 5), entropies stay non-negative and finite (Eq. 3), and trust
+// vectors stay normalized (Definition 1). The helpers compile to no-ops by
+// default; building with `-tags invariants` turns every helper into a
+// panic-on-violation check, which is how `make check` and CI run the test
+// suite.
+//
+// The package is the runtime counterpart of cmd/corrolint: where the static
+// analyzers prove a guard exists in the source, these assertions verify the
+// guarded quantity at runtime. corrolint's logguard analyzer accepts a call
+// to any invariant helper as guard evidence for the value it names, so a
+// declared invariant both documents a precondition and — under the tag —
+// enforces it.
+//
+// Helpers take a name describing the asserted quantity; the name appears in
+// the panic message so a violation identifies its source without a
+// debugger. Keep call sites cheap: pass values that are already computed,
+// never build strings or slices just for an assertion.
+package invariant

@@ -1,0 +1,30 @@
+//go:build !invariants
+
+package invariant
+
+import (
+	"math"
+	"testing"
+)
+
+// Without the invariants build tag every helper must be a no-op: violated
+// invariants pass silently so the release build pays nothing for them.
+func TestDisabledHelpersNeverPanic(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true without the invariants build tag")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("disabled helper panicked: %v", r)
+		}
+	}()
+	Prob01("p", -1)
+	Prob01("p", math.NaN())
+	OpenUnit("p", 0)
+	OpenUnit("p", 1)
+	Finite("x", math.Inf(1))
+	Finite("x", math.NaN())
+	NonNegEntropy("h", -0.5)
+	NonNegEntropy("h", math.Inf(1))
+	TrustNormalized("trust", []float64{0.5, 2, -3})
+}

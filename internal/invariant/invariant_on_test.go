@@ -1,0 +1,58 @@
+//go:build invariants
+
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want panic containing %q", wantSubstr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, wantSubstr) {
+			t.Fatalf("panic %v, want message containing %q", r, wantSubstr)
+		}
+	}()
+	f()
+}
+
+func TestEnabledHelpersPanicOnViolation(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled = false under the invariants build tag")
+	}
+	mustPanic(t, "probability in [0, 1]", func() { Prob01("p", -0.001) })
+	mustPanic(t, "probability in [0, 1]", func() { Prob01("p", 1.001) })
+	mustPanic(t, "probability in [0, 1]", func() { Prob01("p", math.NaN()) })
+	mustPanic(t, "open interval (0, 1)", func() { OpenUnit("p", 0) })
+	mustPanic(t, "open interval (0, 1)", func() { OpenUnit("p", 1) })
+	mustPanic(t, "finite value", func() { Finite("x", math.Inf(-1)) })
+	mustPanic(t, "finite value", func() { Finite("x", math.NaN()) })
+	mustPanic(t, "finite entropy", func() { NonNegEntropy("h", -1e-9) })
+	mustPanic(t, "finite entropy", func() { NonNegEntropy("h", math.Inf(1)) })
+	mustPanic(t, "trust in [0, 1]", func() { TrustNormalized("trust", []float64{0.5, 1.5}) })
+}
+
+func TestEnabledHelpersAcceptValidValues(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("helper panicked on a valid value: %v", r)
+		}
+	}()
+	Prob01("p", 0)
+	Prob01("p", 1)
+	Prob01("p", 0.5)
+	OpenUnit("p", 1e-12)
+	OpenUnit("p", 1-1e-12)
+	Finite("x", -1e300)
+	NonNegEntropy("h", 0)
+	NonNegEntropy("h", 12345.6)
+	TrustNormalized("trust", []float64{0, 0.25, 1})
+	TrustNormalized("trust", nil)
+}

@@ -1,0 +1,22 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether the invariant assertions are compiled in.
+const Enabled = false
+
+// Prob01 asserts p is a probability in [0, 1].
+func Prob01(name string, p float64) {}
+
+// OpenUnit asserts p lies strictly inside (0, 1), the domain of the
+// log-odds transforms.
+func OpenUnit(name string, p float64) {}
+
+// Finite asserts x is neither NaN nor ±Inf.
+func Finite(name string, x float64) {}
+
+// NonNegEntropy asserts h is a finite, non-negative entropy value.
+func NonNegEntropy(name string, h float64) {}
+
+// TrustNormalized asserts every trust score in the vector is in [0, 1].
+func TrustNormalized(name string, trust []float64) {}

@@ -1,0 +1,50 @@
+//go:build invariants
+
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Enabled reports whether the invariant assertions are compiled in.
+const Enabled = true
+
+// Prob01 asserts p is a probability in [0, 1]. The negated comparison also
+// catches NaN, which fails every ordered comparison.
+func Prob01(name string, p float64) {
+	if !(p >= 0 && p <= 1) {
+		panic(fmt.Sprintf("invariant: %s = %v, want probability in [0, 1]", name, p))
+	}
+}
+
+// OpenUnit asserts p lies strictly inside (0, 1), the domain of the
+// log-odds transforms.
+func OpenUnit(name string, p float64) {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("invariant: %s = %v, want value in open interval (0, 1)", name, p))
+	}
+}
+
+// Finite asserts x is neither NaN nor ±Inf.
+func Finite(name string, x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic(fmt.Sprintf("invariant: %s = %v, want finite value", name, x))
+	}
+}
+
+// NonNegEntropy asserts h is a finite, non-negative entropy value.
+func NonNegEntropy(name string, h float64) {
+	if !(h >= 0) || math.IsInf(h, 1) {
+		panic(fmt.Sprintf("invariant: %s = %v, want finite entropy >= 0", name, h))
+	}
+}
+
+// TrustNormalized asserts every trust score in the vector is in [0, 1].
+func TrustNormalized(name string, trust []float64) {
+	for s, t := range trust {
+		if !(t >= 0 && t <= 1) {
+			panic(fmt.Sprintf("invariant: %s[%d] = %v, want trust in [0, 1]", name, s, t))
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FloatExact reports exact == / != comparisons between floating-point
+// operands. Exact float equality silently encodes assumptions about the
+// bit-level history of both operands; in this codebase the only comparisons
+// allowed to rely on that are (a) sentinel checks against literal zero
+// ("zero value means default", exact in IEEE 754), (b) self-comparisons
+// (x != x is the NaN idiom), (c) comparator closures passed to the sort
+// package — an epsilon-based less/equal there would violate the strict
+// weak ordering sorting requires, so exactness is mandatory — (d) the
+// bodies of approved epsilon helpers, and (e) comparisons in _test.go
+// files, where exactness IS the assertion (the byte-identical equivalence
+// suite). Everything else must go through an epsilon helper such as
+// score.ApproxEqual or carry a //lint:ignore floatexact justification.
+var FloatExact = &Analyzer{
+	Name: "floatexact",
+	Doc:  "exact ==/!= on floating-point operands outside tests and epsilon helpers",
+	Run:  runFloatExact,
+}
+
+// epsilonHelperRE matches the names of approved epsilon-comparison helpers,
+// which are allowed to special-case exact equality internally (e.g. for
+// infinities, where a-b is NaN).
+var epsilonHelperRE = regexp.MustCompile(`(?i)(approx|almost|epsilon)(ly)?[_]?(equal|eq)`)
+
+func runFloatExact(pass *Pass) {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN idiom, exact by design
+			}
+			if inEpsilonHelper(stack) || inSortComparator(pass, stack) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact %s on floating-point operands; use an epsilon helper (e.g. score.ApproxEqual) or justify with //lint:ignore floatexact <reason>", be.Op)
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero —
+// the sentinel-for-unset idiom, which is exact by construction.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	if pass.Info == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// inEpsilonHelper reports whether the innermost enclosing function
+// declaration is an approved epsilon helper.
+func inEpsilonHelper(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return epsilonHelperRE.MatchString(fd.Name.Name)
+		}
+	}
+	return false
+}
+
+// inSortComparator reports whether the comparison sits inside a function
+// literal passed to a sort.* / slices.Sort* call: ordering predicates must
+// compare exactly (epsilon comparison is intransitive and breaks the
+// strict weak ordering the sort contract requires).
+func inSortComparator(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); !ok {
+			continue
+		}
+		// The literal must be an argument of a sort call somewhere below
+		// in the stack (directly, or via a named-type conversion like
+		// sort.Sort(byScore(...))).
+		for j := i - 1; j >= 0; j-- {
+			call, ok := stack[j].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if _, ok := pkgCall(pass.Info, call, "sort"); ok {
+				return true
+			}
+			if _, ok := pkgCall(pass.Info, call, "slices"); ok {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

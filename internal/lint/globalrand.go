@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GlobalRand reports calls to the top-level math/rand convenience functions
+// (rand.Intn, rand.Float64, rand.Shuffle, ...), which draw from the shared
+// global generator. The global source makes every synthetic dataset,
+// bootstrap interval, and permutation test unreproducible: any other
+// package touching the generator shifts the stream. Every randomized
+// component in this repository instead threads an explicitly seeded
+// *rand.Rand (see internal/synth.Config.Seed for the pattern); the
+// constructors rand.New / rand.NewSource / rand.NewZipf are therefore
+// allowed.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "top-level math/rand functions instead of an injected seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				name, ok := pkgCall(pass.Info, call, path)
+				if !ok {
+					continue
+				}
+				if strings.HasPrefix(name, "New") {
+					return true // constructors build injected generators
+				}
+				pass.Reportf(call.Pos(), "rand.%s uses the global math/rand source; inject a seeded *rand.Rand (rand.New(rand.NewSource(seed))) for reproducible runs", name)
+				return true
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoNoSync reports `go` statements whose goroutine writes variables
+// captured from the enclosing function without a visible join: a
+// sync.WaitGroup Done inside the goroutine paired with a Wait in the
+// spawner, or a channel send paired with a receive. An unjoined captured
+// write is a data race in waiting — it may also let the spawner read
+// results before the goroutine finished, which in the parallel ∆H ranker
+// would mean ranking on a half-filled score slice. The analyzer is
+// structural (it looks for the pairing, not a happens-before proof); the
+// race detector in `make check` remains the dynamic backstop.
+var GoNoSync = &Analyzer{
+	Name: "gonosync",
+	Doc:  "goroutines writing captured variables without a visible WaitGroup/channel join",
+	Run:  runGoNoSync,
+}
+
+func runGoNoSync(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoNoSync(pass, fd)
+		}
+	}
+}
+
+func checkGoNoSync(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true // `go f(x)`: no captured writes visible here
+		}
+		captured := capturedWrites(pass, lit)
+		if captured == "" {
+			return true
+		}
+		if goroutineSignals(pass, lit) && spawnerJoins(pass, fd, gs) {
+			return true
+		}
+		pass.Reportf(gs.Pos(), "goroutine writes captured variable %s without a visible WaitGroup/channel join; pair a Done/send inside it with a Wait/receive in the spawner", captured)
+		return true
+	})
+}
+
+// capturedWrites returns the name of a variable the function literal
+// assigns to but does not declare ("" when there is none). Index and
+// pointer writes count through their root identifier.
+func capturedWrites(pass *Pass, lit *ast.FuncLit) string {
+	if pass.Info == nil {
+		return ""
+	}
+	found := ""
+	writes := func(e ast.Expr) {
+		root := rootIdent(e)
+		if root == nil || root.Name == "_" || found != "" {
+			return
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			return // declared by this statement (Defs), hence local
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return // declared inside the goroutine
+		}
+		found = root.Name
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writes(lhs)
+			}
+		case *ast.IncDecStmt:
+			writes(n.X)
+		}
+		return true
+	})
+	return found
+}
+
+// goroutineSignals reports whether the goroutine body visibly announces
+// completion: a WaitGroup-ish Done call, a channel send, or a close.
+func goroutineSignals(pass *Pass, lit *ast.FuncLit) bool {
+	signals := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			signals = true
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					signals = true
+				}
+			case *ast.Ident:
+				if fun.Name == "close" {
+					signals = true
+				}
+			}
+		}
+		return !signals
+	})
+	return signals
+}
+
+// spawnerJoins reports whether the enclosing function, after the go
+// statement, visibly waits: a Wait call, a channel receive, or a range /
+// select over channels.
+func spawnerJoins(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	joins := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if joins || n == nil || n.Pos() <= gs.Pos() {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joins = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joins = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joins = true
+				}
+			}
+		case *ast.SelectStmt:
+			joins = true
+		}
+		return !joins
+	})
+	return joins
+}

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked unit of analysis. Test
+// files of the directory are included (in-package and external test
+// packages load as separate Packages), so the analyzers see the same
+// determinism-sensitive code the test binary runs.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// ImportPath is the package's path within the module.
+	ImportPath string
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files are the parsed sources, in deterministic (sorted) file order.
+	Files []*ast.File
+	// Info carries the type-checker results; partially filled when the
+	// package has type errors.
+	Info *types.Info
+	// Types is the checked package object.
+	Types *types.Package
+	// TypeErrors collects soft type-checking failures; analyzers still run.
+	TypeErrors []error
+}
+
+// Loader discovers, parses, and type-checks packages under a module root
+// without golang.org/x/tools: module-internal imports resolve by path
+// mapping onto the module root, everything else (the stdlib) through the
+// compiler source importer.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	imports map[string]*types.Package
+}
+
+// NewLoader builds a loader for the module containing dir (located by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: path,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		imports:    make(map[string]*types.Package),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the module
+// root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+	}
+}
+
+// Import resolves an import path for the type-checker: module-internal
+// paths load from the module tree (export view: non-test files only),
+// anything else falls through to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		if pkg, ok := l.imports[path]; ok {
+			return pkg, nil
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+		files, err := l.parseDir(dir, false)
+		if err != nil {
+			return nil, err
+		}
+		cfg := types.Config{Importer: l}
+		pkg, err := cfg.Check(path, l.fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking dependency %s: %w", path, err)
+		}
+		l.imports[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses the buildable Go files of one directory under the
+// default build context (so files behind inactive build tags, e.g.
+// `invariants`, are skipped exactly as `go build` would skip them).
+// withTests additionally includes the in-package _test.go files.
+func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if withTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	return l.parseFiles(dir, names)
+}
+
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks a file set as import path, collecting (rather than
+// failing on) type errors so analysis can proceed on partial information.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var soft []error
+	cfg := types.Config{
+		Importer: l,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil && len(soft) == 0 {
+		soft = append(soft, err)
+	}
+	return pkg, info, soft
+}
+
+// LoadDir loads every package rooted in one directory: the main package
+// (with its in-package test files) and, when present, the external _test
+// package.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil {
+		return nil, err
+	}
+	importPath := l.ModulePath
+	if rel != "." {
+		importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+
+	var pkgs []*Package
+	files, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) > 0 {
+		tpkg, info, soft := l.check(importPath, files)
+		pkgs = append(pkgs, &Package{
+			Dir:        dir,
+			ImportPath: importPath,
+			Fset:       l.fset,
+			Files:      files,
+			Info:       info,
+			Types:      tpkg,
+			TypeErrors: soft,
+		})
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		names := append([]string(nil), bp.XTestGoFiles...)
+		sort.Strings(names)
+		xfiles, err := l.parseFiles(dir, names)
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, soft := l.check(importPath+"_test", xfiles)
+		pkgs = append(pkgs, &Package{
+			Dir:        dir,
+			ImportPath: importPath + "_test",
+			Fset:       l.fset,
+			Files:      xfiles,
+			Info:       info,
+			Types:      tpkg,
+			TypeErrors: soft,
+		})
+	}
+	return pkgs, nil
+}
+
+// Expand resolves command-line package patterns relative to dir: "./..."
+// style patterns walk the tree (skipping testdata, hidden, and VCS
+// directories), anything else names a single directory.
+func Expand(dir string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, rec := strings.CutSuffix(pat, "/...")
+		if root == "." || root == "" {
+			root = dir
+		} else if !filepath.IsAbs(root) {
+			root = filepath.Join(dir, root)
+		}
+		if !rec {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// LogGuard reports math.Log-family calls and floating-point divisions whose
+// argument is not visibly protected against the values that blow up:
+// log(x) needs x > 0 (NaN for negative, -Inf at zero — Eq. 3 and the
+// TruthFinder τ transform both die this way), and a float division needs a
+// provably nonzero divisor. An argument counts as protected when either
+//
+//   - a conservative positivity prover can show the expression is safe
+//     (positive constants, math.Exp/Abs/Sqrt, len(), squares, and
+//     sums/products thereof), or
+//   - every variable in the expression is dominated by guard evidence
+//     earlier in the same top-level function: a branch condition (if / for
+//     / switch) mentioning the variable, or a call to an
+//     internal/invariant assertion naming it — the runtime invariant layer
+//     doubles as statically visible precondition documentation.
+var LogGuard = &Analyzer{
+	Name: "logguard",
+	Doc:  "math.Log/Log1p/division arguments not dominated by a positivity or epsilon guard",
+	Run:  runLogGuard,
+}
+
+const invariantPath = "corroborate/internal/invariant"
+
+// logFuncs are the math functions whose argument must be kept inside the
+// domain (strictly positive; Log1p is shifted but shares the failure mode
+// at the boundary of its domain).
+var logFuncs = map[string]bool{
+	"Log":   true,
+	"Log2":  true,
+	"Log10": true,
+	"Log1p": true,
+}
+
+func runLogGuard(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLogGuard(pass, fd)
+		}
+	}
+}
+
+// guardFact is one piece of guard evidence: the variables a condition or
+// invariant assertion mentions, and where it appears.
+type guardFact struct {
+	keys map[string]bool
+	pos  token.Pos
+}
+
+func checkLogGuard(pass *Pass, fd *ast.FuncDecl) {
+	guards := collectGuards(pass, fd.Body)
+	guarded := func(e ast.Expr, at token.Pos) bool {
+		keys := collectKeys(pass, e)
+		if len(keys) == 0 {
+			return false
+		}
+		for _, k := range keys {
+			if !keyGuarded(guards, k, at) {
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name, ok := pkgCall(pass.Info, n, "math")
+			if !ok || !logFuncs[name] || len(n.Args) != 1 {
+				return true
+			}
+			arg := n.Args[0]
+			if s := prove(pass, arg); s == signPos {
+				return true
+			}
+			if guarded(arg, n.Pos()) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "math.%s argument may leave the domain (log blows up at <= 0); add a positivity/epsilon guard or an internal/invariant assertion on it", name)
+		case *ast.BinaryExpr:
+			if n.Op != token.QUO || !isFloat(pass.TypeOf(n)) {
+				return true
+			}
+			switch prove(pass, n.Y) {
+			case signPos, signNeg, signNonzero:
+				return true
+			}
+			if guarded(n.Y, n.OpPos) {
+				return true
+			}
+			pass.Reportf(n.OpPos, "floating-point division by possibly-zero divisor %s; guard it against zero or assert it with internal/invariant", types.ExprString(n.Y))
+		}
+		return true
+	})
+}
+
+// collectGuards walks a function body for guard evidence: branch
+// conditions and invariant-assertion calls.
+func collectGuards(pass *Pass, body *ast.BlockStmt) []guardFact {
+	var guards []guardFact
+	add := func(pos token.Pos, exprs ...ast.Expr) {
+		keys := make(map[string]bool)
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			for _, k := range guardKeys(pass, e) {
+				keys[k] = true
+			}
+		}
+		if len(keys) > 0 {
+			guards = append(guards, guardFact{keys: keys, pos: pos})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			add(n.Cond.Pos(), n.Cond)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				add(n.Cond.Pos(), n.Cond)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				add(n.Tag.Pos(), n.Tag)
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok || len(cc.List) == 0 {
+					continue
+				}
+				add(cc.Pos(), cc.List...)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && pkgNameOf(pass.Info, id) == invariantPath {
+					add(n.Pos(), n.Args...)
+				}
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+// keyGuarded reports whether key (or any prefix of its selector chain) is
+// mentioned by guard evidence positioned before at.
+func keyGuarded(guards []guardFact, key string, at token.Pos) bool {
+	prefixes := []string{key}
+	for i := len(key) - 1; i > 0; i-- {
+		if key[i] == '.' {
+			prefixes = append(prefixes, key[:i])
+		}
+	}
+	for _, g := range guards {
+		if g.pos >= at {
+			continue
+		}
+		for _, p := range prefixes {
+			if g.keys[p] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectKeys extracts the trackable variables of an expression: maximal
+// ident / selector chains denoting variables. Package qualifiers, function
+// names in call position, and constants are excluded.
+func collectKeys(pass *Pass, e ast.Expr) []string {
+	var keys []string
+	seen := make(map[string]bool)
+	emit := func(k string) {
+		if k != "" && !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	var walk func(e ast.Expr, inCallFun bool)
+	walk = func(e ast.Expr, inCallFun bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if inCallFun {
+				return
+			}
+			if pass.Info != nil {
+				if _, isVar := pass.Info.Uses[e].(*types.Var); !isVar && pass.Info.Uses[e] != nil {
+					return
+				}
+			}
+			emit(e.Name)
+		case *ast.SelectorExpr:
+			if chain, ok := selectorChain(e); ok {
+				if inCallFun {
+					// A method call's receiver chain still matters.
+					walk(e.X, false)
+					return
+				}
+				if id, ok := e.X.(*ast.Ident); ok && pkgNameOf(pass.Info, id) != "" {
+					// pkg.Something: a package-level var/const, not trackable.
+					return
+				}
+				emit(chain)
+				return
+			}
+			walk(e.X, false)
+		case *ast.ParenExpr:
+			walk(e.X, inCallFun)
+		case *ast.UnaryExpr:
+			walk(e.X, false)
+		case *ast.BinaryExpr:
+			walk(e.X, false)
+			walk(e.Y, false)
+		case *ast.IndexExpr:
+			walk(e.X, inCallFun)
+			walk(e.Index, false)
+		case *ast.CallExpr:
+			walk(e.Fun, true)
+			for _, a := range e.Args {
+				walk(a, false)
+			}
+		case *ast.StarExpr:
+			walk(e.X, false)
+		case *ast.TypeAssertExpr:
+			walk(e.X, false)
+		}
+	}
+	walk(e, false)
+	// Constants contribute no keys: drop idents the type-checker resolved
+	// to constant values.
+	return keys
+}
+
+// guardKeys extracts the variables mentioned anywhere in guard evidence
+// (conditions, invariant-call arguments); unlike collectKeys it also
+// records every intermediate selector prefix, so a guard on `len(g.votes)`
+// covers targets rooted at `g`.
+func guardKeys(pass *Pass, e ast.Expr) []string {
+	keys := collectKeys(pass, e)
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, k := range keys {
+		for i := len(k) - 1; i > 0; i-- {
+			if k[i] == '.' && !seen[k[:i]] {
+				seen[k[:i]] = true
+				keys = append(keys, k[:i])
+			}
+		}
+	}
+	return keys
+}
+
+// selectorChain renders a pure ident selector chain (a.b.c); ok is false
+// when the chain contains calls, indexes, or other expressions.
+func selectorChain(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := selectorChain(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// signClass is the conservative sign lattice of the positivity prover.
+type signClass int
+
+const (
+	signUnknown signClass = iota
+	signPos               // provably > 0
+	signNeg               // provably < 0
+	signNonneg            // provably >= 0
+	signNonzero           // provably != 0, sign unknown (from constants)
+)
+
+// prove conservatively classifies the sign of a numeric expression:
+// positive constants, math.Exp, math.Abs/Sqrt/Hypot, len/cap, squares, and
+// sums/products of those. Anything it cannot prove is signUnknown.
+func prove(pass *Pass, e ast.Expr) signClass {
+	if s, ok := proveConst(pass, e); ok {
+		return s
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return prove(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			switch prove(pass, e.X) {
+			case signPos:
+				return signNeg
+			case signNeg:
+				return signPos
+			case signNonzero:
+				return signNonzero
+			}
+		}
+		return signUnknown
+	case *ast.CallExpr:
+		return proveCall(pass, e)
+	case *ast.BinaryExpr:
+		x, y := prove(pass, e.X), prove(pass, e.Y)
+		switch e.Op {
+		case token.ADD:
+			switch {
+			case x == signPos && (y == signPos || y == signNonneg):
+				return signPos
+			case y == signPos && x == signNonneg:
+				return signPos
+			case x == signNonneg && y == signNonneg:
+				return signNonneg
+			case x == signNeg && y == signNeg:
+				return signNeg
+			}
+		case token.SUB:
+			if x == signPos && y == signNeg {
+				return signPos
+			}
+			if x == signNeg && y == signPos {
+				return signNeg
+			}
+		case token.MUL:
+			if e.Op == token.MUL && types.ExprString(e.X) == types.ExprString(e.Y) {
+				// x*x: a square is non-negative (NaN aside).
+				if x == signPos || x == signNeg || x == signNonzero {
+					return signPos
+				}
+				return signNonneg
+			}
+			switch {
+			case x == signPos && y == signPos, x == signNeg && y == signNeg:
+				return signPos
+			case x == signPos && y == signNeg, x == signNeg && y == signPos:
+				return signNeg
+			case (x == signNonneg || x == signPos) && (y == signNonneg || y == signPos):
+				return signNonneg
+			}
+		case token.QUO:
+			switch {
+			case x == signPos && y == signPos, x == signNeg && y == signNeg:
+				return signPos
+			case x == signPos && y == signNeg, x == signNeg && y == signPos:
+				return signNeg
+			}
+		}
+		return signUnknown
+	}
+	return signUnknown
+}
+
+// proveConst classifies compile-time constants.
+func proveConst(pass *Pass, e ast.Expr) (signClass, bool) {
+	if pass.Info == nil {
+		return signUnknown, false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return signUnknown, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		switch constant.Sign(tv.Value) {
+		case 1:
+			return signPos, true
+		case -1:
+			return signNeg, true
+		}
+		return signUnknown, true
+	}
+	return signUnknown, false
+}
+
+// proveCall classifies calls: len/cap are non-negative, conversions are
+// transparent, and a few math functions have known ranges.
+func proveCall(pass *Pass, call *ast.CallExpr) signClass {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if (id.Name == "len" || id.Name == "cap") && pass.Info != nil {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return signNonneg
+			}
+		}
+	}
+	// Conversions (float64(x), time.Duration(x), ...) preserve sign.
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return prove(pass, call.Args[0])
+		}
+	}
+	if name, ok := pkgCall(pass.Info, call, "math"); ok {
+		switch name {
+		case "Exp", "Exp2":
+			// e^x > 0 for every finite x (underflow to +0 only below
+			// x ≈ -745, outside the log-odds magnitudes this code handles).
+			return signPos
+		case "Abs", "Sqrt", "Hypot":
+			return signNonneg
+		}
+	}
+	return signUnknown
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapDet reports range-over-map loops whose iteration order leaks into an
+// ordered result: appending to a slice that is never sorted afterwards,
+// building a string, or accumulating a floating-point sum (float addition
+// is not associative, so even a commutative-looking reduction is
+// order-sensitive). This is exactly the nondeterminism class that would
+// corrupt the byte-identical trajectories the ∆H engine's equivalence
+// suite guarantees: one map-ordered append in a hot path and two runs of
+// the same dataset diverge.
+//
+// The approved pattern is collect-keys → sort → iterate: an append whose
+// destination is later passed to a sort.* / slices.Sort* call in the same
+// function is not reported.
+var MapDet = &Analyzer{
+	Name: "mapdet",
+	Doc:  "map iteration order flowing into slice appends, string builds, or float sums without a sort",
+	Run:  runMapDet,
+}
+
+func runMapDet(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapDet(pass, fd)
+		}
+	}
+}
+
+func checkMapDet(pass *Pass, fd *ast.FuncDecl) {
+	sorted := sortedSlices(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapBody(pass, rs, sorted)
+		return true
+	})
+}
+
+// sortedSlices collects the names of slices that reach a sorting call
+// anywhere in the function, keyed by expression string, with the position
+// of the sort.
+type sortFact struct {
+	key string
+	pos token.Pos
+}
+
+func sortedSlices(pass *Pass, body *ast.BlockStmt) []sortFact {
+	var facts []sortFact
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := pkgCall(pass.Info, call, "sort"); !ok {
+			if _, ok := pkgCall(pass.Info, call, "slices"); !ok {
+				return true
+			}
+		}
+		// Every ident/selector mentioned in the arguments is considered
+		// sorted from here on: covers sort.Strings(keys), sort.Slice(keys,
+		// less), slices.Sort(keys), and sort.Sort(byLen(keys)).
+		for _, arg := range call.Args {
+			for _, k := range collectKeys(pass, arg) {
+				facts = append(facts, sortFact{key: k, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+func isSortedAfter(sorted []sortFact, key string, after token.Pos) bool {
+	for _, f := range sorted {
+		if f.key == key && f.pos > after {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapBody scans one map-range body for order-sensitive sinks.
+func checkMapBody(pass *Pass, rs *ast.RangeStmt, sorted []sortFact) {
+	declaredInside := func(e ast.Expr) bool {
+		root := rootIdent(e)
+		if root == nil || pass.Info == nil {
+			return false
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			obj = pass.Info.Defs[root]
+		}
+		return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// dst = append(dst, ...) — iteration order becomes element order.
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+						continue
+					}
+					dst := call.Args[0]
+					if declaredInside(dst) {
+						continue
+					}
+					if i < len(n.Lhs) && declaredInside(n.Lhs[i]) {
+						continue
+					}
+					key := types.ExprString(dst)
+					if isSortedAfter(sorted, key, rs.End()) {
+						continue
+					}
+					pass.Reportf(call.Pos(), "append to %s inside map iteration leaks nondeterministic order; sort the keys first or sort %s afterwards", key, key)
+				}
+			}
+			// sum += x / s += "..." — order-sensitive accumulation.
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if declaredInside(lhs) {
+						continue
+					}
+					t := pass.TypeOf(lhs)
+					switch {
+					case isFloat(t):
+						pass.Reportf(n.TokPos, "floating-point accumulation into %s inside map iteration is order-sensitive (float addition is not associative); iterate sorted keys", types.ExprString(lhs))
+					case isString(t):
+						pass.Reportf(n.TokPos, "string concatenation into %s inside map iteration leaks nondeterministic order; iterate sorted keys", types.ExprString(lhs))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// builder.WriteString(...) etc. on a strings.Builder or
+			// bytes.Buffer declared outside the loop.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !isWriteMethod(sel.Sel.Name) {
+				return true
+			}
+			if !isTextSink(pass.TypeOf(sel.X)) || declaredInside(sel.X) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s into %s inside map iteration leaks nondeterministic order; iterate sorted keys", sel.Sel.Name, types.ExprString(sel.X))
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if pass.Info == nil {
+		return true
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isWriteMethod(name string) bool {
+	switch name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+		return true
+	}
+	return false
+}
+
+// isTextSink matches strings.Builder and bytes.Buffer (possibly behind a
+// pointer), the ordered text accumulators.
+func isTextSink(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

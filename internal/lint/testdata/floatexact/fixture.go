@@ -1,0 +1,51 @@
+// Package fixture exercises the floatexact analyzer: exact float
+// comparisons are findings unless they fall under an approved exemption.
+package fixture
+
+import "sort"
+
+// approxEqual is an approved epsilon helper by name; the exact comparison
+// inside it is the fast path and must not be reported.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return a-b < 1e-9 && b-a < 1e-9
+}
+
+// exact is a plain exact comparison: reported.
+func exact(a, b float64) bool {
+	return a == b
+}
+
+// notEqual is the != form: reported.
+func notEqual(a, b float64) bool {
+	return a != b
+}
+
+// zeroSentinel compares against literal zero, the value-is-unset idiom:
+// exempt.
+func zeroSentinel(a float64) bool {
+	return a == 0
+}
+
+// isNaN is the self-comparison NaN idiom: exempt.
+func isNaN(a float64) bool {
+	return a != a
+}
+
+// comparator holds exact comparisons inside a sort comparator, where an
+// epsilon would break the strict weak ordering: exempt.
+func comparator(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i] == xs[j] {
+			return false
+		}
+		return xs[i] < xs[j]
+	})
+}
+
+// ints compares integers: not the analyzer's business.
+func ints(a, b int) bool {
+	return a == b
+}

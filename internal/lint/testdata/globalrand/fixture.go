@@ -1,0 +1,27 @@
+// Package fixture exercises the globalrand analyzer: top-level math/rand
+// functions share unseeded global state; randomness must flow through an
+// injected *rand.Rand.
+package fixture
+
+import "math/rand"
+
+// shuffle uses the global source: reported.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// pick uses the global source: reported.
+func pick() int {
+	return rand.Intn(10)
+}
+
+// seeded constructs an explicit generator (New* functions are the approved
+// entry points): clean.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// injected draws from a caller-provided generator: clean.
+func injected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the gonosync analyzer: goroutines writing
+// captured variables need a visible completion signal and join.
+package fixture
+
+import "sync"
+
+// unsyncedWrite races the captured write against the return: reported.
+func unsyncedWrite() int {
+	x := 0
+	go func() {
+		x = 1
+	}()
+	return x
+}
+
+// waitGroupJoin signals with Done and joins with Wait: clean.
+func waitGroupJoin() int {
+	x := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x = 1
+	}()
+	wg.Wait()
+	return x
+}
+
+// channelJoin signals with close and joins with a receive: clean.
+func channelJoin() int {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		x = 1
+		close(done)
+	}()
+	<-done
+	return x
+}
+
+// noCapture writes only goroutine-local state: clean.
+func noCapture() {
+	go func() {
+		y := 1
+		_ = y
+	}()
+}

@@ -1,0 +1,51 @@
+// Package fixture exercises the logguard analyzer: math.Log arguments and
+// float divisors must be provably safe, guarded, or asserted.
+package fixture
+
+import (
+	"math"
+
+	"corroborate/internal/invariant"
+)
+
+// unguardedLog passes an arbitrary parameter to math.Log: reported.
+func unguardedLog(x float64) float64 {
+	return math.Log(x)
+}
+
+// guardedLog dominates the argument with a positivity branch: clean.
+func guardedLog(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// assertedLog covers the argument with an invariant assertion: clean.
+func assertedLog(x float64) float64 {
+	invariant.OpenUnit("x", x)
+	return math.Log(x)
+}
+
+// provablyPositive feeds Log an expression the sign prover accepts: clean.
+func provablyPositive(x float64) float64 {
+	return math.Log(math.Exp(x) + 1)
+}
+
+// unguardedDiv divides by an arbitrary parameter: reported.
+func unguardedDiv(a, b float64) float64 {
+	return a / b
+}
+
+// guardedDiv checks the divisor first: clean.
+func guardedDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// constDiv divides by a nonzero constant: clean.
+func constDiv(a float64) float64 {
+	return a / 2
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the mapdet analyzer: map iteration order must
+// not flow into order-sensitive sinks without an intervening sort.
+package fixture
+
+import (
+	"sort"
+	"strings"
+)
+
+// appendUnsorted returns keys in map order: reported.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// appendSorted sorts the collected keys before use: clean.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sumFloats folds map values into a float sum, which is order-sensitive
+// because float addition is not associative: reported.
+func sumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// buildString writes map keys straight into a builder: reported.
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// countOnly accumulates an integer count, which is order-free: clean.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the //lint:ignore machinery: well-formed
+// directives silence findings (line-above and trailing forms, multiple
+// analyzers per directive), malformed ones are themselves reported.
+package fixture
+
+import "math"
+
+// suppressedLog carries a line-above directive with a reason: silenced.
+func suppressedLog(x float64) float64 {
+	//lint:ignore logguard fixture: the reason is given, so this is silenced
+	return math.Log(x)
+}
+
+// trailing carries the directive on the offending line itself: silenced.
+func trailing(a, b float64) bool {
+	return a == b //lint:ignore floatexact fixture: trailing form
+}
+
+// multi silences two analyzers with one comma-separated directive.
+func multi(a, b float64) bool {
+	//lint:ignore floatexact,logguard fixture: both findings on this line are silenced
+	return a/b == math.Log(b)
+}
+
+// malformed omits the mandatory reason: the directive is reported and the
+// finding underneath survives.
+func malformed(x float64) float64 {
+	//lint:ignore logguard
+	return math.Log(x)
+}

@@ -68,8 +68,10 @@ func (l *Logistic) Fit(x [][]float64, y []float64) error {
 			gradB += diff
 		}
 		for j := range l.weights {
+			//lint:ignore logguard n = float64(len(x)) and Fit rejects empty training sets, so n ≥ 1
 			l.weights[j] -= lr * (grad[j]/n + l2*l.weights[j])
 		}
+		//lint:ignore logguard n = float64(len(x)) and Fit rejects empty training sets, so n ≥ 1
 		l.bias -= lr * gradB / n
 	}
 	return nil

@@ -61,6 +61,7 @@ func (nb *NaiveBayes) Fit(x [][]float64, y []float64) error {
 	}
 	total := classCount[0] + classCount[1]
 	for cls := 0; cls < 2; cls++ {
+		//lint:ignore logguard Laplace smoothing: counts are ≥ 0 and alpha > 0, so both the log argument and the divisor are strictly positive
 		nb.classLogPrior[cls] = math.Log((classCount[cls] + alpha) / (total + 2*alpha))
 	}
 	nb.logLik = make([][2][3]float64, dim)
@@ -68,6 +69,7 @@ func (nb *NaiveBayes) Fit(x [][]float64, y []float64) error {
 		for cls := 0; cls < 2; cls++ {
 			denom := classCount[cls] + 3*alpha
 			for b := 0; b < 3; b++ {
+				//lint:ignore logguard Laplace smoothing: counts are ≥ 0 and alpha > 0, so both the log argument and the divisor are strictly positive
 				nb.logLik[j][cls][b] = math.Log((counts[j][cls][b] + alpha) / denom)
 			}
 		}

@@ -35,6 +35,7 @@ func (s *SVM) Fit(x [][]float64, y []float64) error {
 		return fmt.Errorf("ml: SVM fit with %d examples, %d labels", len(x), len(y))
 	}
 	for _, yi := range y {
+		//lint:ignore floatexact ±1 labels are caller-provided exact constants; validation must reject everything else, not accept values near ±1
 		if yi != 1 && yi != -1 {
 			return fmt.Errorf("ml: SVM labels must be ±1, got %v", yi)
 		}
@@ -103,6 +104,7 @@ func (s *SVM) Fit(x [][]float64, y []float64) error {
 			ej := f(j) - y[j]
 			ai, aj := alpha[i], alpha[j]
 			var lo, hi float64
+			//lint:ignore floatexact labels are validated to exactly ±1, so equality is exact by construction
 			if y[i] != y[j] {
 				lo = math.Max(0, aj-ai)
 				hi = math.Min(c, c+aj-ai)
@@ -110,6 +112,7 @@ func (s *SVM) Fit(x [][]float64, y []float64) error {
 				lo = math.Max(0, ai+aj-c)
 				hi = math.Min(c, ai+aj)
 			}
+			//lint:ignore floatexact SMO's degenerate-box check is exact in the reference algorithm; a collapsed [lo, hi] means no feasible step
 			if lo == hi {
 				continue
 			}

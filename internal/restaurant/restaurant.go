@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"corroborate/internal/invariant"
 	"corroborate/internal/truth"
 )
 
@@ -169,7 +170,10 @@ func Generate(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("restaurant: golden size %d exceeds listings %d", cfg.GoldenSize, cfg.Listings)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// OpenRate was validated into (0, 1) above, so pi and 1-pi are safe
+	// divisors.
 	pi := cfg.OpenRate
+	invariant.OpenUnit("restaurant open rate", pi)
 
 	w := &World{}
 	b := truth.NewBuilder()
@@ -185,6 +189,7 @@ func Generate(cfg Config) (*World, error) {
 		totalFVotes += p.fVotes
 	}
 	for s, p := range paperProfiles {
+		//lint:ignore logguard paperProfiles is a static table whose fVotes sum to a positive constant (the paper's 654 flags)
 		fVoteShare[s] = float64(p.fVotes) / float64(totalFVotes)
 	}
 
@@ -261,6 +266,7 @@ func Generate(cfg Config) (*World, error) {
 	for f := 0; f < cfg.Listings; f++ {
 		fi := b.Fact(fmt.Sprintf("listing%06d", f))
 		remaining := cfg.Listings - f
+		//lint:ignore logguard remaining = Listings - f with f < Listings by the loop condition, so it is ≥ 1
 		closed := rng.Float64() < float64(closedLeft)/float64(remaining)
 		if !closed {
 			b.Label(fi, truth.True)

@@ -4,7 +4,28 @@
 // trust) and the dual credit a source earns from a corroborated fact.
 package score
 
-import "corroborate/internal/truth"
+import (
+	"math"
+
+	"corroborate/internal/invariant"
+	"corroborate/internal/truth"
+)
+
+// Epsilon is the absolute tolerance of ApproxEqual: generous enough to
+// absorb the rounding drift of averaging/summation chains over float64
+// probabilities, far below any decision threshold gap that matters.
+const Epsilon = 1e-9
+
+// ApproxEqual reports whether two floats are equal within Epsilon. It is
+// the approved comparison for derived floating-point quantities (exact ==
+// on floats is flagged by corrolint's floatexact analyzer); infinities of
+// the same sign compare equal, NaN compares equal to nothing.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true // fast path; also handles equal infinities
+	}
+	return math.Abs(a-b) <= Epsilon
+}
 
 // VoteCredit is the probability contribution of one vote: a T vote forwards
 // the source's trust, an F vote forwards its complement. Absent votes never
@@ -32,7 +53,9 @@ func Corrob(votes []truth.SourceVote, trust []float64) float64 {
 	for _, sv := range votes {
 		sum += VoteCredit(sv.Vote, trust[sv.Source])
 	}
-	return sum / float64(len(votes))
+	p := sum / float64(len(votes))
+	invariant.Prob01("score.Corrob probability", p)
+	return p
 }
 
 // SourceCredit is the credit a source earns from a fact whose corroborated

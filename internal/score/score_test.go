@@ -54,6 +54,74 @@ func TestNormalize(t *testing.T) {
 	}
 }
 
+// TestCorrobExtremeTrust drives Corrob with trust values pinned to the
+// endpoints of [0, 1], where the credit terms are exactly 0 or 1: the result
+// must stay a finite probability (and, under -tags invariants, survive the
+// Prob01 assertion wired into Corrob).
+func TestCorrobExtremeTrust(t *testing.T) {
+	cases := []struct {
+		name  string
+		trust []float64
+		votes []truth.SourceVote
+		want  float64
+	}{
+		{
+			name:  "all trusted affirm",
+			trust: []float64{1, 1, 1},
+			votes: []truth.SourceVote{{Source: 0, Vote: truth.Affirm}, {Source: 1, Vote: truth.Affirm}, {Source: 2, Vote: truth.Affirm}},
+			want:  1,
+		},
+		{
+			name:  "all untrusted affirm",
+			trust: []float64{0, 0},
+			votes: []truth.SourceVote{{Source: 0, Vote: truth.Affirm}, {Source: 1, Vote: truth.Affirm}},
+			want:  0,
+		},
+		{
+			name:  "trusted deny",
+			trust: []float64{1},
+			votes: []truth.SourceVote{{Source: 0, Vote: truth.Deny}},
+			want:  0,
+		},
+		{
+			name:  "untrusted deny",
+			trust: []float64{0},
+			votes: []truth.SourceVote{{Source: 0, Vote: truth.Deny}},
+			want:  1,
+		},
+		{
+			name:  "mixed endpoints cancel",
+			trust: []float64{0, 1},
+			votes: []truth.SourceVote{{Source: 0, Vote: truth.Affirm}, {Source: 1, Vote: truth.Affirm}},
+			want:  0.5,
+		},
+	}
+	for _, c := range cases {
+		got := Corrob(c.votes, c.trust)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: Corrob = %v, must be finite", c.name, got)
+		}
+		if !ApproxEqual(got, c.want) {
+			t.Errorf("%s: Corrob = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(0.1+0.2, 0.3) {
+		t.Error("ApproxEqual must absorb representation error")
+	}
+	if ApproxEqual(0.3, 0.3+1e-6) {
+		t.Error("ApproxEqual must reject differences beyond Epsilon")
+	}
+	if !ApproxEqual(math.Inf(1), math.Inf(1)) {
+		t.Error("equal infinities compare equal via the fast path")
+	}
+	if ApproxEqual(math.NaN(), math.NaN()) {
+		t.Error("NaN compares equal to nothing")
+	}
+}
+
 func TestCorrobBoundsProperty(t *testing.T) {
 	// Corrob of any vote pattern under trusts in [0,1] stays in [0,1], and
 	// flipping every vote mirrors the probability around 0.5.

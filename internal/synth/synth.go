@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"corroborate/internal/invariant"
 	"corroborate/internal/truth"
 )
 
@@ -189,8 +190,10 @@ func Generate(cfg Config) (*World, error) {
 		b.Source(p.Name)
 	}
 
-	// Per-source listing probabilities for true and false facts.
+	// Per-source listing probabilities for true and false facts. TruthRate
+	// was validated into (0, 1) above, so pi and 1-pi are safe divisors.
 	pi := cfg.TruthRate
+	invariant.OpenUnit("synth truth rate", pi)
 	listTrue := make([]float64, len(w.Sources))
 	listFalse := make([]float64, len(w.Sources))
 	for s, p := range w.Sources {

@@ -146,6 +146,7 @@ func TestEtaBoundsFVotes(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := truth.ComputeStats(w.Dataset)
+		//lint:ignore logguard test fixture: Generate was configured with 20000 facts, so the dataset is non-empty
 		frac := float64(st.FactsWithDeny) / float64(w.Dataset.NumFacts())
 		if frac > eta {
 			t.Errorf("eta=%v: %v of facts carry F votes, must be <= eta", eta, frac)

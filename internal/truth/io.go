@@ -87,9 +87,23 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("truth: CSV header declares no source columns")
 	}
+	// Source columns are identified positionally below (column i -> source
+	// index i), which only holds when every name interns to a fresh source:
+	// reject empty and repeated names instead of silently collapsing them.
+	seen := make(map[string]bool, len(cols))
+	for i, c := range cols {
+		if strings.TrimSpace(c) == "" {
+			return nil, fmt.Errorf("truth: CSV header column %d has an empty source name", i+2)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("truth: CSV header repeats source column %q", c)
+		}
+		seen[c] = true
+	}
 	b := NewBuilder()
 	b.AddSources(cols...)
 	var golden []int
+	goldenSeen := make(map[int]bool)
 	useGoldenCol := false
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -131,7 +145,12 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if hasGolden {
 			switch strings.TrimSpace(rec[next]) {
 			case "1", "true", "t":
-				golden = append(golden, f)
+				// Repeated rows re-intern the same fact; membership in the
+				// golden set must not duplicate (Validate rejects that).
+				if !goldenSeen[f] {
+					goldenSeen[f] = true
+					golden = append(golden, f)
+				}
 				useGoldenCol = true
 			case "0", "false", "f", "":
 			default:
