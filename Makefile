@@ -25,8 +25,9 @@ vet:
 lint:
 	$(GO) run ./cmd/corrolint ./...
 
-# The race target covers internal/core, where the parallel ∆H ranker lives;
-# the equivalence tests force the concurrent path even on one CPU.
+# The race target covers internal/core, where the parallel ∆H ranker and the
+# sharded stream's worker pool live; the equivalence and differential tests
+# force the concurrent paths even on one CPU.
 race:
 	$(GO) test -race ./internal/core/...
 
@@ -48,3 +49,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/truth
 	$(GO) test -run='^$$' -fuzz=FuzzNormalizeAddress -fuzztime=$(FUZZTIME) ./internal/dedup
 	$(GO) test -run='^$$' -fuzz=FuzzSimilarity -fuzztime=$(FUZZTIME) ./internal/dedup
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	corroborate -method IncEstHeu -in votes.csv [-out results.csv] [-trajectory]
+//	corroborate -stream day1.csv,day2.csv [-shards 4] [-checkpoint state.json]
 //
 // The input format is one fact per row with one vote column per source
 // ("T", "F", or "-"), plus optional "label" and "golden" columns; see the
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +42,8 @@ func run() error {
 	compare := flag.String("compare", "", "second method: evaluate both and report the significance of the accuracy gap")
 	auditK := flag.Int("audit", 0, "plan this many in-person checks from the result (entropy-driven)")
 	stream := flag.String("stream", "", "comma-separated CSV files treated as successive batches of an online corroboration stream")
+	shards := flag.Int("shards", 1, "with -stream: corroborate each batch across this many signature shards (output is identical for any count)")
+	checkpoint := flag.String("checkpoint", "", "with -stream: resume from this checkpoint file if it exists and rewrite it after every batch")
 	list := flag.Bool("list", false, "list available methods and exit")
 	trajectory := flag.Bool("trajectory", false, "print the incremental trust trajectory (IncEst* methods)")
 	flag.Parse()
@@ -51,7 +55,7 @@ func run() error {
 		return nil
 	}
 	if *stream != "" {
-		return runStream(strings.Split(*stream, ","))
+		return runStream(strings.Split(*stream, ","), *shards, *checkpoint)
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in (use -list to see methods)")
@@ -178,9 +182,21 @@ func run() error {
 }
 
 // runStream feeds each file's votes as one batch of an online stream and
-// reports per-batch verdicts plus the carried trust.
-func runStream(paths []string) error {
-	st := corroborate.NewStream()
+// reports per-batch verdicts plus the carried trust. With a checkpoint
+// path, the stream resumes from the file when it exists and atomically
+// rewrites it after every batch, so an interrupted run continues exactly
+// where it stopped (already-processed batches must be dropped from the
+// argument list on resume; the batch counter in the output shows how far
+// the restored stream had advanced).
+func runStream(paths []string, shards int, checkpointPath string) error {
+	st, err := openStream(shards, checkpointPath)
+	if err != nil {
+		return err
+	}
+	if resumed := st.Batches(); resumed > 0 {
+		fmt.Printf("resumed from %s: %d batches, %d facts already corroborated\n",
+			checkpointPath, resumed, len(st.Decided()))
+	}
 	for _, path := range paths {
 		path = strings.TrimSpace(path)
 		if path == "" {
@@ -212,6 +228,11 @@ func runStream(paths []string) error {
 		}
 		fmt.Printf("batch %s: %d facts (%d confirmed, %d rejected)\n",
 			path, len(out), confirmed, len(out)-confirmed)
+		if checkpointPath != "" {
+			if err := writeCheckpoint(checkpointPath, st); err != nil {
+				return fmt.Errorf("checkpointing after %s: %w", path, err)
+			}
+		}
 	}
 	fmt.Println("carried trust:")
 	trust := st.Trust()
@@ -225,6 +246,45 @@ func runStream(paths []string) error {
 	}
 	fmt.Printf("%d batches, %d facts total\n", st.Batches(), len(st.Decided()))
 	return nil
+}
+
+// openStream builds the stream engine: restored from the checkpoint file
+// when one exists, fresh otherwise. Sharding only affects how a batch's
+// groups are scheduled, so any shard count may resume any checkpoint.
+func openStream(shards int, checkpointPath string) (*corroborate.ShardedStream, error) {
+	if checkpointPath != "" {
+		f, err := os.Open(checkpointPath)
+		if err == nil {
+			defer f.Close()
+			st, err := corroborate.RestoreShardedStream(f, shards)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", checkpointPath, err)
+			}
+			return st, nil
+		}
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return corroborate.NewShardedStream(shards), nil
+}
+
+// writeCheckpoint atomically replaces the checkpoint file: a crash mid-write
+// leaves the previous checkpoint intact, never a torn one.
+func writeCheckpoint(path string, st *corroborate.ShardedStream) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := st.Checkpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func writeResultJSON(path string, d *corroborate.Dataset, r *corroborate.Result) (err error) {

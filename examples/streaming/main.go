@@ -2,12 +2,16 @@
 // increments arrive as batches; each batch is corroborated under the trust
 // accumulated from everything seen before, and verdicts on brand-new facts
 // come purely from the carried multi-value trust — no re-processing of old
-// data.
+// data. The second half of the walk-through checkpoints the stream to a
+// byte buffer and resumes it in a sharded engine: restored state and shard
+// count never change a verdict.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"sort"
 
 	"corroborate"
 )
@@ -31,6 +35,23 @@ func main() {
 	}
 	report(stream, day1, "day 1 (conflicts expose the laggard)")
 
+	// End of day 1: snapshot the full stream state — trust accumulators,
+	// source table, decided-fact log — before the service restarts.
+	var snapshot bytes.Buffer
+	if err := stream.Checkpoint(&snapshot); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint after day 1: %d bytes\n\n", snapshot.Len())
+
+	// Day 2 runs on a restored engine — here a sharded one, which fans each
+	// batch's fact groups across four workers. Checkpoints are
+	// shard-agnostic and sharding never changes output, so this continues
+	// the day-1 stream exactly.
+	restored, err := corroborate.RestoreShardedStream(&snapshot, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Day 2: fresh listings only — no conflicts at all. The verdicts come
 	// entirely from the trust carried over from day 1.
 	day2 := []corroborate.BatchVote{
@@ -39,16 +60,27 @@ func main() {
 		{Fact: "grand palace", Source: "yellowpages", Vote: corroborate.Affirm},
 		{Fact: "red table tavern", Source: "menupages", Vote: corroborate.Affirm},
 	}
-	report(stream, day2, "day 2 (affirmative-only; verdicts from carried trust)")
+	report(restored, day2, "day 2 (restored + 4 shards; verdicts from carried trust)")
 
 	fmt.Println("final trust:")
-	for name, tr := range stream.Trust() {
-		fmt.Printf("  %-14s %.2f\n", name, tr)
+	trust := restored.Trust()
+	names := make([]string, 0, len(trust))
+	for name := range trust {
+		names = append(names, name)
 	}
-	fmt.Printf("total: %d batches, %d facts corroborated\n", stream.Batches(), len(stream.Decided()))
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-14s %.2f\n", name, trust[name])
+	}
+	fmt.Printf("total: %d batches, %d facts corroborated\n", restored.Batches(), len(restored.Decided()))
 }
 
-func report(stream *corroborate.Stream, batch []corroborate.BatchVote, title string) {
+// engine is the batch surface shared by Stream and ShardedStream.
+type engine interface {
+	AddBatch([]corroborate.BatchVote) ([]corroborate.StreamFact, error)
+}
+
+func report(stream engine, batch []corroborate.BatchVote, title string) {
 	out, err := stream.AddBatch(batch)
 	if err != nil {
 		log.Fatal(err)

@@ -20,6 +20,10 @@ type (
 	// Stream is the online form of the incremental algorithm: votes
 	// arrive in batches and the multi-value trust carries across batches.
 	Stream = core.Stream
+	// ShardedStream corroborates each batch's fact groups across a
+	// signature-sharded worker pool; its output is byte-identical to
+	// Stream for any shard count.
+	ShardedStream = core.ShardedStream
 	// BatchVote is one vote of a stream batch.
 	BatchVote = core.BatchVote
 	// StreamFact is one corroborated fact of a stream.
@@ -36,6 +40,20 @@ type (
 
 // NewStream returns an empty corroboration stream using the scale profile.
 func NewStream() *Stream { return core.NewStream() }
+
+// NewShardedStream returns an empty sharded corroboration stream with the
+// given shard count (clamped to at least 1).
+func NewShardedStream(shards int) *ShardedStream { return core.NewShardedStream(shards) }
+
+// RestoreStream reads a checkpoint written by Stream.Checkpoint and returns
+// a stream that continues the checkpointed one exactly.
+func RestoreStream(r io.Reader) (*Stream, error) { return core.RestoreStream(r) }
+
+// RestoreShardedStream restores a checkpoint into a sharded stream;
+// checkpoints are shard-agnostic, so any shard count continues identically.
+func RestoreShardedStream(r io.Reader, shards int) (*ShardedStream, error) {
+	return core.RestoreShardedStream(r, shards)
+}
 
 // DependVoting returns the dependence-aware voting method: it detects
 // likely copier cliques from shared false affirmations (Dong et al.,

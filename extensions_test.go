@@ -27,6 +27,70 @@ func TestStreamPublicAPI(t *testing.T) {
 	}
 }
 
+func TestShardedStreamPublicAPI(t *testing.T) {
+	batch := []corroborate.BatchVote{
+		{Fact: "a", Source: "s1", Vote: corroborate.Affirm},
+		{Fact: "a", Source: "s2", Vote: corroborate.Affirm},
+		{Fact: "b", Source: "s1", Vote: corroborate.Deny},
+		{Fact: "b", Source: "s2", Vote: corroborate.Affirm},
+	}
+	st := corroborate.NewStream()
+	ss := corroborate.NewShardedStream(4)
+	if ss.Shards() != 4 {
+		t.Fatalf("Shards = %d", ss.Shards())
+	}
+	want, err := st.AddBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ss.AddBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded decided %d facts, sequential %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharded[%d] = %+v, sequential %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckpointPublicAPI(t *testing.T) {
+	st := corroborate.NewStream()
+	if _, err := st.AddBatch([]corroborate.BatchVote{
+		{Fact: "a", Source: "s1", Vote: corroborate.Affirm},
+		{Fact: "b", Source: "s2", Vote: corroborate.Deny},
+		{Fact: "b", Source: "s3", Vote: corroborate.Affirm},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := buf.Bytes()
+
+	restored, err := corroborate.RestoreStream(bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Batches() != 1 || len(restored.Decided()) != 2 {
+		t.Fatalf("restored %d batches, %d facts", restored.Batches(), len(restored.Decided()))
+	}
+	sharded, err := corroborate.RestoreShardedStream(bytes.NewReader(snapshot), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Batches() != 1 {
+		t.Fatalf("sharded restore lost the batch log")
+	}
+	if _, err := corroborate.RestoreStream(strings.NewReader("not a checkpoint")); err == nil {
+		t.Fatal("garbage restored without error")
+	}
+}
+
 func TestDependVotingPublicAPI(t *testing.T) {
 	d := corroborate.MotivatingExample()
 	m := corroborate.DependVoting()

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"corroborate/internal/truth"
+)
+
+// Checkpoint/restore subsystem.
+//
+// A checkpoint is a complete snapshot of a stream's corroboration state —
+// configuration, source table with the multi-value trust accumulators, and
+// the decided-fact log — taken after any batch. Restoring it into a fresh
+// Stream (or ShardedStream, with any shard count) continues the stream
+// exactly: every subsequent AddBatch produces byte-identical output to the
+// uninterrupted stream, because the trust credits are serialized as exact
+// float64 round-trips and the source table preserves interning order (the
+// order defines vote signatures).
+//
+// Wire format: a one-object JSON envelope
+//
+//	{"format":"corroborate/stream-checkpoint","version":1,
+//	 "checksum":"<crc32c hex of the state bytes>","state":{...}}
+//
+// encoded compactly and deterministically (same state ⇒ same bytes). The
+// decoder is strict: unknown fields, trailing data, a foreign format tag, an
+// unsupported version, a checksum mismatch, or any semantic inconsistency in
+// the state (credits outside [0, count], a prediction disagreeing with its
+// probability under Eq. 2, a gap in the batch numbering, …) is an error —
+// never a panic, and never a silently half-restored stream.
+
+const (
+	checkpointFormat  = "corroborate/stream-checkpoint"
+	checkpointVersion = 1
+)
+
+type checkpointEnvelope struct {
+	Format   string          `json:"format"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"`
+	State    json.RawMessage `json:"state"`
+}
+
+type checkpointState struct {
+	Config checkpointConfig `json:"config"`
+	// DefaultTrust is the σ0(S) the trust state was initialized with; it
+	// only matters once the stream has seen a batch.
+	DefaultTrust float64            `json:"default_trust,omitempty"`
+	Sources      []checkpointSource `json:"sources,omitempty"`
+	Decided      []checkpointFact   `json:"decided,omitempty"`
+}
+
+type checkpointConfig struct {
+	Strategy      string  `json:"strategy"`
+	InitialTrust  float64 `json:"initial_trust,omitempty"`
+	MaxRounds     int     `json:"max_rounds,omitempty"`
+	CandidateCap  int     `json:"candidate_cap,omitempty"`
+	FullGroups    bool    `json:"full_groups,omitempty"`
+	FlipDeltaH    bool    `json:"flip_delta_h,omitempty"`
+	SoftAbsorb    bool    `json:"soft_absorb,omitempty"`
+	AnchoredTrust bool    `json:"anchored_trust,omitempty"`
+	DeferBand     float64 `json:"defer_band,omitempty"`
+}
+
+type checkpointSource struct {
+	Name   string  `json:"name"`
+	Credit float64 `json:"credit"`
+	Count  int     `json:"count"`
+}
+
+type checkpointFact struct {
+	Name        string      `json:"name"`
+	Batch       int         `json:"batch"`
+	Probability float64     `json:"probability"`
+	Prediction  truth.Label `json:"prediction"`
+}
+
+// Checkpoint serializes the stream's full state to w. The encoding is
+// deterministic: checkpointing the same state twice produces identical
+// bytes, and encode→decode→re-encode is a fixed point (FuzzCheckpoint).
+func (st *Stream) Checkpoint(w io.Writer) error {
+	st.mu.Lock()
+	data, err := st.encodeLocked()
+	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func (st *Stream) encodeLocked() ([]byte, error) {
+	cs := checkpointState{
+		Config: checkpointConfig{
+			Strategy:      st.Config.Strategy.String(),
+			InitialTrust:  st.Config.InitialTrust,
+			MaxRounds:     st.Config.MaxRounds,
+			CandidateCap:  st.Config.CandidateCap,
+			FullGroups:    st.Config.FullGroups,
+			FlipDeltaH:    st.Config.FlipDeltaH,
+			SoftAbsorb:    st.Config.SoftAbsorb,
+			AnchoredTrust: st.Config.AnchoredTrust,
+			DeferBand:     st.Config.DeferBand,
+		},
+	}
+	if st.initDone {
+		cs.DefaultTrust = st.state.defaultTrust
+	}
+	for i, name := range st.names {
+		cs.Sources = append(cs.Sources, checkpointSource{
+			Name:   name,
+			Credit: st.state.credit[i],
+			Count:  st.state.count[i],
+		})
+	}
+	for _, sf := range st.decided {
+		cs.Decided = append(cs.Decided, checkpointFact{
+			Name:        sf.Name,
+			Batch:       sf.Batch,
+			Probability: sf.Probability,
+			Prediction:  sf.Prediction,
+		})
+	}
+	payload, err := json.Marshal(cs)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding checkpoint state: %w", err)
+	}
+	env := checkpointEnvelope{
+		Format:   checkpointFormat,
+		Version:  checkpointVersion,
+		Checksum: fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload)),
+		State:    payload,
+	}
+	out, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding checkpoint envelope: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// RestoreStream reads a checkpoint and returns a fresh Stream that
+// continues the checkpointed stream exactly.
+func RestoreStream(r io.Reader) (*Stream, error) {
+	st := NewStream()
+	if err := restoreInto(st, r); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// RestoreShardedStream reads a checkpoint and returns a fresh
+// ShardedStream with the given shard count. Checkpoints are
+// shard-agnostic: the same checkpoint restores into any shard count (or a
+// plain Stream) with byte-identical continuation.
+func RestoreShardedStream(r io.Reader, shards int) (*ShardedStream, error) {
+	ss := NewShardedStream(shards)
+	if err := restoreInto(&ss.Stream, r); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+// restoreInto decodes, validates, and installs a checkpoint into st, which
+// must be freshly constructed. Any error leaves st unusable; callers
+// discard it.
+func restoreInto(st *Stream, r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	cs, err := decodeCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	strategy, err := parseSelector(cs.Config.Strategy)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	st.Config = IncEstimate{
+		Strategy:      strategy,
+		InitialTrust:  cs.Config.InitialTrust,
+		MaxRounds:     cs.Config.MaxRounds,
+		CandidateCap:  cs.Config.CandidateCap,
+		FullGroups:    cs.Config.FullGroups,
+		FlipDeltaH:    cs.Config.FlipDeltaH,
+		SoftAbsorb:    cs.Config.SoftAbsorb,
+		AnchoredTrust: cs.Config.AnchoredTrust,
+		DeferBand:     cs.Config.DeferBand,
+	}
+	if len(cs.Sources) > 0 {
+		st.state = newTrustState(len(cs.Sources), cs.DefaultTrust)
+		st.initDone = true
+		for i, src := range cs.Sources {
+			st.sources[src.Name] = i
+			st.names = append(st.names, src.Name)
+			st.state.credit[i] = src.Credit
+			st.state.count[i] = src.Count
+		}
+	}
+	for _, cf := range cs.Decided {
+		st.decided = append(st.decided, StreamFact{
+			Name:        cf.Name,
+			Batch:       cf.Batch,
+			Probability: cf.Probability,
+			Prediction:  cf.Prediction,
+		})
+	}
+	return nil
+}
+
+// decodeCheckpoint strictly parses and validates a checkpoint.
+func decodeCheckpoint(data []byte) (*checkpointState, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var env checkpointEnvelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: parsing checkpoint envelope: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("core: checkpoint carries trailing data")
+	}
+	if env.Format != checkpointFormat {
+		return nil, fmt.Errorf("core: not a stream checkpoint (format %q)", env.Format)
+	}
+	if env.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d (this build reads %d)", env.Version, checkpointVersion)
+	}
+	if want := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.State)); env.Checksum != want {
+		return nil, fmt.Errorf("core: checkpoint checksum mismatch (%s recorded, %s computed): corrupted state", env.Checksum, want)
+	}
+	sdec := json.NewDecoder(bytes.NewReader(env.State))
+	sdec.DisallowUnknownFields()
+	var cs checkpointState
+	if err := sdec.Decode(&cs); err != nil {
+		return nil, fmt.Errorf("core: parsing checkpoint state: %w", err)
+	}
+	if err := cs.validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid checkpoint: %w", err)
+	}
+	return &cs, nil
+}
+
+// validate enforces every invariant a live stream maintains, so a restored
+// stream is indistinguishable from one that never stopped.
+func (cs *checkpointState) validate() error {
+	if _, err := parseSelector(cs.Config.Strategy); err != nil {
+		return err
+	}
+	if bad01(cs.Config.InitialTrust) {
+		return fmt.Errorf("initial trust %v out of [0, 1]", cs.Config.InitialTrust)
+	}
+	if bad01(cs.Config.DeferBand) {
+		return fmt.Errorf("defer band %v out of [0, 1]", cs.Config.DeferBand)
+	}
+	if cs.Config.MaxRounds < 0 || cs.Config.CandidateCap < 0 {
+		return fmt.Errorf("negative round or candidate bound")
+	}
+	if len(cs.Sources) > 0 && bad01(cs.DefaultTrust) {
+		return fmt.Errorf("default trust %v out of [0, 1]", cs.DefaultTrust)
+	}
+	seen := make(map[string]bool, len(cs.Sources))
+	for i, src := range cs.Sources {
+		if seen[src.Name] {
+			return fmt.Errorf("source %q duplicated", src.Name)
+		}
+		seen[src.Name] = true
+		// Every interned source has corroborated at least one fact, and a
+		// credit is a sum of per-fact values in [0, 1].
+		if src.Count < 1 {
+			return fmt.Errorf("source %d (%q) has count %d < 1", i, src.Name, src.Count)
+		}
+		if math.IsNaN(src.Credit) || src.Credit < 0 || src.Credit > float64(src.Count) {
+			return fmt.Errorf("source %d (%q) has credit %v outside [0, %d]", i, src.Name, src.Credit, src.Count)
+		}
+	}
+	if (len(cs.Sources) == 0) != (len(cs.Decided) == 0) {
+		return fmt.Errorf("source table and decided log disagree about whether any batch ran")
+	}
+	prevBatch := 0
+	for i, cf := range cs.Decided {
+		if bad01(cf.Probability) {
+			return fmt.Errorf("decided fact %d (%q) has probability %v out of [0, 1]", i, cf.Name, cf.Probability)
+		}
+		if want := truth.LabelOf(cf.Probability, truth.Threshold); cf.Prediction != want {
+			return fmt.Errorf("decided fact %d (%q) predicts %v but its probability %v decides %v under Eq. 2",
+				i, cf.Name, cf.Prediction, cf.Probability, want)
+		}
+		switch {
+		case i == 0 && cf.Batch != 0:
+			return fmt.Errorf("decided log starts at batch %d, want 0", cf.Batch)
+		case i > 0 && (cf.Batch < prevBatch || cf.Batch > prevBatch+1):
+			return fmt.Errorf("decided fact %d (%q) jumps from batch %d to %d", i, cf.Name, prevBatch, cf.Batch)
+		}
+		prevBatch = cf.Batch
+	}
+	return nil
+}
+
+// bad01 reports whether x is NaN or outside the unit interval.
+func bad01(x float64) bool {
+	return math.IsNaN(x) || x < 0 || x > 1
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+// FuzzCheckpoint: arbitrary bytes must either fail to restore with a clean
+// error or restore into a stream whose canonical re-encode is a fixed
+// point — encode(restore(encode(restore(x)))) == encode(restore(x)) — and
+// that keeps working (a probe batch must corroborate on both copies with
+// identical output). Seed corpus regressions live in
+// testdata/fuzz/FuzzCheckpoint. Run the seeds with plain `go test`; use
+// `go test -run='^$' -fuzz=FuzzCheckpoint ./internal/core` for open-ended
+// fuzzing (make fuzz-smoke does a bounded pass).
+func FuzzCheckpoint(f *testing.F) {
+	// A live checkpoint with real state.
+	st := NewStream()
+	if _, err := st.AddBatch([]BatchVote{
+		{Fact: "a", Source: "s1", Vote: truth.Affirm},
+		{Fact: "a", Source: "s2", Vote: truth.Affirm},
+		{Fact: "b", Source: "s1", Vote: truth.Deny},
+		{Fact: "b", Source: "s3", Vote: truth.Affirm},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := st.AddBatch([]BatchVote{
+		{Fact: "c", Source: "s3", Vote: truth.Affirm},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	var live bytes.Buffer
+	if err := st.Checkpoint(&live); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(live.Bytes())
+	// An empty checkpoint.
+	var empty bytes.Buffer
+	if err := NewStream().Checkpoint(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	// Structurally near-miss inputs.
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"corroborate/stream-checkpoint","version":1,"checksum":"00000000","state":null}`))
+	f.Add([]byte(`{"format":"corroborate/stream-checkpoint","version":1,"checksum":"deadbeef","state":{"config":{"strategy":"IncEstScale"}}}`))
+	f.Add([]byte("\x00\x01\x02"))
+
+	probe := []BatchVote{
+		{Fact: "probe", Source: "s1", Vote: truth.Affirm},
+		{Fact: "probe", Source: "fresh", Vote: truth.Affirm},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err := RestoreStream(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input may fail, but must not panic
+		}
+		var enc1 bytes.Buffer
+		if err := first.Checkpoint(&enc1); err != nil {
+			t.Fatalf("re-encoding an accepted checkpoint: %v", err)
+		}
+		second, err := RestoreStream(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical re-encode failed to restore: %v", err)
+		}
+		var enc2 bytes.Buffer
+		if err := second.Checkpoint(&enc2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\n%s", enc1.Bytes(), enc2.Bytes())
+		}
+		// Both restored copies must stay functional and agree bitwise.
+		out1, err1 := first.AddBatch(probe)
+		out2, err2 := second.AddBatch(probe)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("probe batch error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			t.Fatalf("probe batch rejected on restored stream: %v", err1)
+		}
+		if len(out1) != len(out2) {
+			t.Fatalf("probe decided %d vs %d facts", len(out1), len(out2))
+		}
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Fatalf("probe diverged at %d: %+v vs %+v", i, out1[i], out2[i])
+			}
+		}
+	})
+}

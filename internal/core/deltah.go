@@ -17,9 +17,9 @@ import (
 // parallel path on small datasets.
 var parallelRankThreshold = 32
 
-// rankWorkers overrides the worker count of the parallel ranker; 0 (the
-// default) uses runtime.GOMAXPROCS. Tests raise it to exercise the
-// concurrent path on single-CPU machines.
+// rankWorkers overrides the worker count of the parallel ranker and of the
+// sharded stream's shard pool; 0 (the default) uses runtime.GOMAXPROCS.
+// Tests raise it to exercise the concurrent paths on single-CPU machines.
 var rankWorkers = 0
 
 // syncBaseline refreshes the per-round entropy baseline: H(prob(FG)) for

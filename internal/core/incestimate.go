@@ -57,6 +57,23 @@ func (s Selector) String() string {
 	}
 }
 
+// parseSelector inverts Selector.String; it is the checkpoint codec's hook
+// for serializing strategies by name instead of brittle integer codes.
+func parseSelector(s string) (Selector, error) {
+	switch s {
+	case "IncEstHeu":
+		return SelectHeu, nil
+	case "IncEstPS":
+		return SelectPS, nil
+	case "IncEstScale":
+		return SelectScale, nil
+	case "IncEstHybrid":
+		return SelectHybrid, nil
+	default:
+		return 0, fmt.Errorf("core: unknown selector %q", s)
+	}
+}
+
 // IncEstimate is the incremental corroboration algorithm (Algorithm 1).
 // The zero value is ready to use and runs IncEstHeu with the paper's
 // defaults.

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// streamShardThreshold is the group count below which a sharded stream
+// decides its batch sequentially: the per-group decision costs
+// microseconds, so goroutine handoff would dominate on small batches. The
+// decided values are identical either way — tests lower the threshold to
+// force the concurrent path on tiny batches.
+var streamShardThreshold = 16
+
+// ShardedStream is the scale-out form of Stream: incoming batches are
+// partitioned by fact-group signature into a fixed number of shards, the
+// shards are corroborated concurrently on a bounded worker pool (the same
+// pool shape and worker knob as the parallel ∆H ranker of PR 1), and the
+// per-shard outcomes are merged back in the globally sorted group order.
+//
+// Because every group of a batch is decided under the frozen batch-entry
+// trust (see Stream) and the merge replays the exact absorption sequence of
+// the sequential stream, a ShardedStream with ANY shard count produces
+// byte-identical trust state and decided-fact log to a plain Stream fed the
+// same batches — verified by the differential suite in sharded_test.go.
+//
+// A ShardedStream is safe for concurrent use, with the same contract as
+// Stream.
+type ShardedStream struct {
+	Stream
+	shards int
+}
+
+// NewShardedStream returns an empty sharded stream using the scale
+// profile. Shard counts below 1 are clamped to 1 (a sequential stream).
+func NewShardedStream(shards int) *ShardedStream {
+	if shards < 1 {
+		shards = 1
+	}
+	ss := &ShardedStream{shards: shards}
+	ss.Config = *NewScale()
+	ss.sources = make(map[string]int)
+	return ss
+}
+
+// Shards returns the configured shard count.
+func (ss *ShardedStream) Shards() int { return ss.shards }
+
+// AddBatch corroborates one batch across the stream's shards and merges
+// the outcomes deterministically. Output and state are byte-identical to
+// Stream.AddBatch on the same history.
+func (ss *ShardedStream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.addBatchLocked(votes, ss.shards)
+}
+
+// shardOf assigns a fact-group signature to a shard via FNV-1a. The hash
+// only routes work; results never depend on the assignment.
+func shardOf(signature string, shards int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(signature); i++ {
+		h ^= uint32(signature[i])
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// decideGroups fills raw and final decided probabilities (indexed by group
+// ordinal) for every group of a batch under the frozen batch-entry trust.
+// With shards > 1 and enough groups, the groups are partitioned by
+// signature hash and the shards are drained by a bounded worker pool; each
+// worker writes only its own shards' ordinal slots, so the fan-out is
+// data-race free and the filled arrays are independent of scheduling.
+func (st *Stream) decideGroups(groups []*group, trust []float64, shards int) (raw, final []float64) {
+	raw = make([]float64, len(groups))
+	final = make([]float64, len(groups))
+	if shards <= 1 || len(groups) < streamShardThreshold {
+		for _, g := range groups {
+			raw[g.ord], final[g.ord] = st.decideGroup(g, trust)
+		}
+		return raw, final
+	}
+	buckets := make([][]*group, shards)
+	for _, g := range groups {
+		s := shardOf(g.signature, shards)
+		buckets[s] = append(buckets[s], g)
+	}
+	workers := rankWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shards {
+					return
+				}
+				for _, g := range buckets[i] {
+					raw[g.ord], final[g.ord] = st.decideGroup(g, trust)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return raw, final
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
@@ -18,12 +19,29 @@ import (
 // define the batches' content while the selector still orders work inside
 // each batch.
 //
-// A Stream is not safe for concurrent use.
+// Each batch is one macro time point: every fact group of the batch is
+// corroborated under the trust at batch entry (Definition 1's σi(S) — all
+// facts selected at ti are evaluated with the trust of ti), and all
+// outcomes are absorbed afterwards in the deterministic group order. The
+// decision function of a group is therefore a pure function of (votes,
+// batch-entry trust), which is what lets ShardedStream corroborate
+// signature shards concurrently and still merge to a byte-identical state.
+//
+// Concurrency contract: a Stream is safe for concurrent use. AddBatch,
+// Trust, Decided, Batches, and Checkpoint serialize on an internal mutex;
+// concurrent AddBatch calls are applied in lock-acquisition order, so
+// determinism across runs is up to the caller's batch ordering. (Earlier
+// versions documented Stream as not safe for concurrent use; the lock is
+// new, the single-threaded behaviour is unchanged.)
+//
+// AddBatch is atomic: a rejected batch leaves the stream untouched — no
+// sources are interned, no trust moves, no facts are decided.
 type Stream struct {
 	// Config is applied to every batch; the zero value is the scale
 	// profile, which suits open-ended streams.
 	Config IncEstimate
 
+	mu       sync.Mutex
 	sources  map[string]int
 	names    []string
 	state    *trustState
@@ -60,6 +78,8 @@ func NewStream() *Stream {
 // Trust returns the current trust of every source seen so far, keyed by
 // source name.
 func (st *Stream) Trust() map[string]float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make(map[string]float64, len(st.names))
 	for i, n := range st.names {
 		out[n] = st.state.trust(i)
@@ -68,25 +88,79 @@ func (st *Stream) Trust() map[string]float64 {
 }
 
 // Decided returns every fact corroborated so far, in evaluation order. The
-// returned slice is shared; callers must not modify it.
-func (st *Stream) Decided() []StreamFact { return st.decided }
+// returned slice is a point-in-time snapshot sharing its backing array with
+// the stream; callers must not modify it.
+func (st *Stream) Decided() []StreamFact {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.decided
+}
 
 // Batches returns how many batches have been processed.
 func (st *Stream) Batches() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.batchesLocked()
+}
+
+func (st *Stream) batchesLocked() int {
 	if len(st.decided) == 0 {
 		return 0
 	}
 	return st.decided[len(st.decided)-1].Batch + 1
 }
 
+// voteKey identifies one (fact, source) slot of a batch for duplicate
+// detection.
+type voteKey struct {
+	fact, source string
+}
+
+// validateBatch rejects batches the stream cannot corroborate coherently:
+// empty batches, votes carrying an unknown truth value (anything but T/F),
+// and duplicate votes — two statements by the same source about the same
+// fact in one batch would silently shadow each other inside the vote
+// matrix, so they are surfaced as caller errors instead.
+func validateBatch(votes []BatchVote) error {
+	if len(votes) == 0 {
+		return fmt.Errorf("core: empty batch")
+	}
+	seen := make(map[voteKey]struct{}, len(votes))
+	for _, v := range votes {
+		if !v.Vote.Valid() || v.Vote == truth.Absent {
+			return fmt.Errorf("core: batch vote on %q by %q carries unknown truth value %v", v.Fact, v.Source, v.Vote)
+		}
+		k := voteKey{fact: v.Fact, source: v.Source}
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("core: duplicate vote on %q by %q in batch", v.Fact, v.Source)
+		}
+		seen[k] = struct{}{}
+	}
+	return nil
+}
+
 // AddBatch corroborates one batch of votes under the trust accumulated
 // from all earlier batches and folds the outcomes back in. Facts are
-// grouped by vote signature and evaluated negative-side-first inside the
-// batch, like one macro time point of the incremental algorithm. It
-// returns the batch's corroborated facts in evaluation order.
+// grouped by vote signature, decided under the batch-entry trust, and
+// absorbed negative-side-first, like one macro time point of the
+// incremental algorithm. It returns the batch's corroborated facts in
+// evaluation order.
 func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
-	if len(votes) == 0 {
-		return nil, fmt.Errorf("core: empty batch")
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.addBatchLocked(votes, 1)
+}
+
+// addBatchLocked is the shared batch pipeline of Stream and ShardedStream:
+// validate, intern, group, decide every group under the frozen batch-entry
+// trust (fanning out across signature shards when shards > 1), then merge
+// the outcomes in the global sorted group order. The merge order — and with
+// it every floating-point accumulation — is independent of the shard count
+// and of goroutine scheduling, which is what keeps ShardedStream output
+// byte-identical to the sequential stream.
+func (st *Stream) addBatchLocked(votes []BatchVote, shards int) ([]StreamFact, error) {
+	if err := validateBatch(votes); err != nil {
+		return nil, err
 	}
 	// Build a dataset for the batch with globally interned sources.
 	b := truth.NewBuilder()
@@ -94,9 +168,6 @@ func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
 		b.Source(n)
 	}
 	for _, v := range votes {
-		if !v.Vote.Valid() || v.Vote == truth.Absent {
-			return nil, fmt.Errorf("core: batch vote on %q has invalid vote", v.Fact)
-		}
 		idx, ok := st.sources[v.Source]
 		if !ok {
 			idx = b.Source(v.Source)
@@ -123,10 +194,14 @@ func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
 
 	groups := buildGroups(d)
 	trust := st.state.vector()
+	raw, final := st.decideGroups(groups, trust, shards)
+
 	// Order: confident negatives first, then positives by size — one
-	// macro time point of the scale profile over the batch's groups.
+	// macro time point of the scale profile over the batch's groups. The
+	// ranking uses the groups' raw probabilities under the batch-entry
+	// trust; protection adjustments only affect the decided value.
 	sort.Slice(groups, func(i, j int) bool {
-		pi, pj := groups[i].prob(trust), groups[j].prob(trust)
+		pi, pj := raw[groups[i].ord], raw[groups[j].ord]
 		ni, nj := pi <= truth.Threshold, pj <= truth.Threshold
 		if ni != nj {
 			return ni
@@ -143,24 +218,10 @@ func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
 		return groups[i].signature < groups[j].signature
 	})
 
-	batch := st.Batches()
-	if len(st.decided) > 0 {
-		batch = st.decided[len(st.decided)-1].Batch + 1
-	}
+	batch := st.batchesLocked()
 	var out []StreamFact
 	for _, g := range groups {
-		gTrust := st.state.vector()
-		p := score.Corrob(g.votes, gTrust)
-		if st.Config.Strategy == SelectScale || st.Config.Strategy == SelectHeu {
-			// Backed-by-positive protection and strict tie handling, as
-			// in the scale profile's batch rounds.
-			if p <= truth.Threshold && !g.conflicted() && g.backedByPositive(gTrust) {
-				p = truth.Threshold // confirmed by a positive backer
-				//lint:ignore floatexact the scale profile defines a conflicted group at exactly the threshold as undecided; an epsilon band would flip near-threshold decisions
-			} else if p == truth.Threshold && g.conflicted() {
-				p = nextBelowThreshold
-			}
-		}
+		p := final[g.ord]
 		facts := g.take(g.size())
 		st.state.absorb(g.votes, outcome(p, st.Config.SoftAbsorb), len(facts))
 		for _, f := range facts {
@@ -175,4 +236,25 @@ func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
 		}
 	}
 	return out, nil
+}
+
+// decideGroup corroborates one group under the frozen batch-entry trust.
+// It returns the raw Eq. 5 probability (the ordering key) and the decided
+// probability after the scale profile's protections. The function is pure
+// in (g, trust) — it never reads mutable stream state — so shards may call
+// it concurrently.
+func (st *Stream) decideGroup(g *group, trust []float64) (raw, final float64) {
+	p := score.Corrob(g.votes, trust)
+	raw, final = p, p
+	if st.Config.Strategy == SelectScale || st.Config.Strategy == SelectHeu {
+		// Backed-by-positive protection and strict tie handling, as
+		// in the scale profile's batch rounds.
+		if p <= truth.Threshold && !g.conflicted() && g.backedByPositive(trust) {
+			final = truth.Threshold // confirmed by a positive backer
+			//lint:ignore floatexact the scale profile defines a conflicted group at exactly the threshold as undecided; an epsilon band would flip near-threshold decisions
+		} else if p == truth.Threshold && g.conflicted() {
+			final = nextBelowThreshold
+		}
+	}
+	return raw, final
 }

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
 	"testing"
 
 	"corroborate/internal/truth"
@@ -181,5 +185,125 @@ func TestStreamDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("stream runs diverge at %d: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestStreamAddBatchErrorPaths: every rejection mode names the offending
+// vote, and a rejected batch is fully atomic — nothing is interned, no
+// trust moves, no facts are decided.
+func TestStreamAddBatchErrorPaths(t *testing.T) {
+	st := NewStream()
+	if _, err := st.AddBatch([]BatchVote{
+		{Fact: "base", Source: "s1", Vote: truth.Affirm},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		votes []BatchVote
+		want  string
+	}{
+		{"empty", nil, "empty batch"},
+		{"absent vote", []BatchVote{
+			{Fact: "x", Source: "newbie", Vote: truth.Absent},
+		}, "unknown truth value"},
+		{"invalid vote", []BatchVote{
+			{Fact: "x", Source: "newbie", Vote: truth.Vote(9)},
+		}, "unknown truth value"},
+		{"duplicate vote", []BatchVote{
+			{Fact: "x", Source: "newbie", Vote: truth.Affirm},
+			{Fact: "x", Source: "newbie", Vote: truth.Deny},
+		}, "duplicate vote"},
+		{"duplicate after valid prefix", []BatchVote{
+			{Fact: "x", Source: "other-newbie", Vote: truth.Affirm},
+			{Fact: "y", Source: "newbie", Vote: truth.Affirm},
+			{Fact: "y", Source: "newbie", Vote: truth.Affirm},
+		}, "duplicate vote"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := st.AddBatch(tc.votes)
+			if err == nil {
+				t.Fatalf("batch accepted, want %q error", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// Atomicity: the failed batch left no trace, not even interned
+			// source names from the valid prefix of the batch.
+			if st.Batches() != 1 || len(st.Decided()) != 1 {
+				t.Fatalf("rejected batch mutated the stream: %d batches, %d decided",
+					st.Batches(), len(st.Decided()))
+			}
+			tr := st.Trust()
+			if len(tr) != 1 {
+				t.Fatalf("rejected batch interned sources: %v", tr)
+			}
+		})
+	}
+
+	// The stream keeps working after rejections.
+	if _, err := st.AddBatch([]BatchVote{
+		{Fact: "after", Source: "s1", Vote: truth.Affirm},
+	}); err != nil {
+		t.Fatalf("valid batch after rejections: %v", err)
+	}
+	if st.Batches() != 2 {
+		t.Fatalf("Batches = %d, want 2", st.Batches())
+	}
+}
+
+// TestStreamConcurrentUse drives AddBatch, Trust, Decided, and Checkpoint
+// from concurrent goroutines; under -race this proves the documented
+// concurrency contract. Batches use disjoint fact names, so every fact must
+// be decided exactly once regardless of interleaving.
+func TestStreamConcurrentUse(t *testing.T) {
+	st := NewStream()
+	const writers, batchesPer = 4, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batchesPer; b++ {
+				fact := fmt.Sprintf("w%d-b%d", w, b)
+				if _, err := st.AddBatch([]BatchVote{
+					{Fact: fact, Source: "s1", Vote: truth.Affirm},
+					{Fact: fact, Source: fmt.Sprintf("src-%d", w), Vote: truth.Affirm},
+				}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 16; i++ {
+			for range st.Trust() {
+			}
+			_ = st.Decided()
+			if err := st.Checkpoint(io.Discard); err != nil {
+				t.Errorf("concurrent checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := st.Batches(); got != writers*batchesPer {
+		t.Fatalf("Batches = %d, want %d", got, writers*batchesPer)
+	}
+	seen := make(map[string]bool)
+	for _, sf := range st.Decided() {
+		if seen[sf.Name] {
+			t.Fatalf("fact %s decided twice", sf.Name)
+		}
+		seen[sf.Name] = true
+	}
+	if len(seen) != writers*batchesPer {
+		t.Fatalf("decided %d facts, want %d", len(seen), writers*batchesPer)
 	}
 }

@@ -1,0 +1,78 @@
+package truth
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestVoteTextRoundTrip(t *testing.T) {
+	for _, v := range []Vote{Absent, Affirm, Deny} {
+		text, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", v, err)
+		}
+		var back Vote
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != v {
+			t.Errorf("round trip %v -> %q -> %v", v, text, back)
+		}
+	}
+	if _, err := Vote(9).MarshalText(); err == nil {
+		t.Error("marshaling an invalid vote must fail")
+	}
+	var v Vote
+	if err := v.UnmarshalText([]byte("maybe")); err == nil {
+		t.Error("unmarshaling garbage must fail")
+	}
+}
+
+func TestLabelTextRoundTrip(t *testing.T) {
+	for _, l := range []Label{Unknown, True, False} {
+		text, err := l.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", l, err)
+		}
+		var back Label
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != l {
+			t.Errorf("round trip %v -> %q -> %v", l, text, back)
+		}
+	}
+	if _, err := Label(9).MarshalText(); err == nil {
+		t.Error("marshaling an invalid label must fail")
+	}
+	var l Label
+	if err := l.UnmarshalText([]byte("perhaps")); err == nil {
+		t.Error("unmarshaling garbage must fail")
+	}
+}
+
+// TestLabelJSONHook: encoding/json must pick up the text hooks, so a Label
+// inside any struct serializes as the paper's word, not an int8 code.
+func TestLabelJSONHook(t *testing.T) {
+	type wrap struct {
+		L Label `json:"l"`
+		V Vote  `json:"v"`
+	}
+	data, err := json.Marshal(wrap{L: False, V: Deny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"l":"false","v":"F"}` {
+		t.Fatalf("unexpected encoding %s", data)
+	}
+	var back wrap
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.L != False || back.V != Deny {
+		t.Fatalf("round trip got %+v", back)
+	}
+	if err := json.Unmarshal([]byte(`{"l":"sideways"}`), &back); err == nil {
+		t.Error("invalid label text must fail to unmarshal")
+	}
+}
