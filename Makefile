@@ -21,15 +21,18 @@ vet:
 	$(GO) vet ./...
 
 # lint runs corrolint, the repository's domain-aware static-analysis suite
-# (floatexact, logguard, mapdet, globalrand, gonosync); see cmd/corrolint.
+# (floatexact, logguard, mapdet, globalrand, gonosync, closecheck); see
+# cmd/corrolint.
 lint:
 	$(GO) run ./cmd/corrolint ./...
 
-# The race target covers internal/core, where the parallel ∆H ranker and the
-# sharded stream's worker pool live; the equivalence and differential tests
-# force the concurrent paths even on one CPU.
+# The race target covers internal/core — the parallel ∆H ranker, the sharded
+# stream's worker pool, and the fault-injection suite (worker panics,
+# mid-batch cancellation, filesystem faults) — plus internal/fault itself;
+# the equivalence and differential tests force the concurrent paths even on
+# one CPU.
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/fault/...
 
 # check is the CI gate: compile, static checks (vet + corrolint), the full
 # test suite with and without runtime invariants, and the race detector.
@@ -50,3 +53,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzNormalizeAddress -fuzztime=$(FUZZTIME) ./internal/dedup
 	$(GO) test -run='^$$' -fuzz=FuzzSimilarity -fuzztime=$(FUZZTIME) ./internal/dedup
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) ./internal/core

@@ -14,14 +14,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"corroborate"
 )
@@ -183,19 +185,36 @@ func run() error {
 
 // runStream feeds each file's votes as one batch of an online stream and
 // reports per-batch verdicts plus the carried trust. With a checkpoint
-// path, the stream resumes from the file when it exists and atomically
-// rewrites it after every batch, so an interrupted run continues exactly
-// where it stopped (already-processed batches must be dropped from the
-// argument list on resume; the batch counter in the output shows how far
-// the restored stream had advanced).
+// path, the stream resumes from the file when it exists and durably
+// rewrites it after every batch through the crash-safe sink, so an
+// interrupted run continues exactly where it stopped (already-processed
+// batches must be dropped from the argument list on resume; the batch
+// counter in the output shows how far the restored stream had advanced).
+// A corrupt checkpoint is quarantined to <path>.corrupt and the stream
+// starts fresh. SIGINT/SIGTERM cancel between group decisions; the
+// rejected batch leaves the stream at its last checkpointed boundary.
 func runStream(paths []string, shards int, checkpointPath string) error {
-	st, err := openStream(shards, checkpointPath)
-	if err != nil {
-		return err
-	}
-	if resumed := st.Batches(); resumed > 0 {
-		fmt.Printf("resumed from %s: %d batches, %d facts already corroborated\n",
-			checkpointPath, resumed, len(st.Decided()))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	st := corroborate.NewShardedStream(shards)
+	var sink *corroborate.CheckpointSink
+	if checkpointPath != "" {
+		sink = corroborate.NewCheckpointSink(checkpointPath)
+		var report corroborate.RestoreReport
+		var err error
+		if st, report, err = sink.Restore(shards); err != nil {
+			return err
+		}
+		if report.QuarantinedPath != "" {
+			fmt.Fprintf(os.Stderr,
+				"corroborate: checkpoint %s is corrupt (%v); quarantined to %s, starting fresh\n",
+				checkpointPath, report.Cause, report.QuarantinedPath)
+		}
+		if report.Resumed {
+			fmt.Printf("resumed from %s: %d batches, %d facts already corroborated\n",
+				checkpointPath, st.Batches(), len(st.Decided()))
+		}
 	}
 	for _, path := range paths {
 		path = strings.TrimSpace(path)
@@ -216,8 +235,11 @@ func runStream(paths []string, shards int, checkpointPath string) error {
 				})
 			}
 		}
-		out, err := st.AddBatch(votes)
+		out, err := st.AddBatchContext(ctx, votes)
 		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted before %s; resume from the checkpoint and re-run the remaining batches: %w", path, err)
+			}
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		confirmed := 0
@@ -228,8 +250,8 @@ func runStream(paths []string, shards int, checkpointPath string) error {
 		}
 		fmt.Printf("batch %s: %d facts (%d confirmed, %d rejected)\n",
 			path, len(out), confirmed, len(out)-confirmed)
-		if checkpointPath != "" {
-			if err := writeCheckpoint(checkpointPath, st); err != nil {
+		if sink != nil {
+			if err := sink.Save(st); err != nil {
 				return fmt.Errorf("checkpointing after %s: %w", path, err)
 			}
 		}
@@ -246,45 +268,6 @@ func runStream(paths []string, shards int, checkpointPath string) error {
 	}
 	fmt.Printf("%d batches, %d facts total\n", st.Batches(), len(st.Decided()))
 	return nil
-}
-
-// openStream builds the stream engine: restored from the checkpoint file
-// when one exists, fresh otherwise. Sharding only affects how a batch's
-// groups are scheduled, so any shard count may resume any checkpoint.
-func openStream(shards int, checkpointPath string) (*corroborate.ShardedStream, error) {
-	if checkpointPath != "" {
-		f, err := os.Open(checkpointPath)
-		if err == nil {
-			defer f.Close()
-			st, err := corroborate.RestoreShardedStream(f, shards)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", checkpointPath, err)
-			}
-			return st, nil
-		}
-		if !os.IsNotExist(err) {
-			return nil, err
-		}
-	}
-	return corroborate.NewShardedStream(shards), nil
-}
-
-// writeCheckpoint atomically replaces the checkpoint file: a crash mid-write
-// leaves the previous checkpoint intact, never a torn one.
-func writeCheckpoint(path string, st *corroborate.ShardedStream) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := st.Checkpoint(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
 func writeResultJSON(path string, d *corroborate.Dataset, r *corroborate.Result) (err error) {

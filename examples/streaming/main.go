@@ -2,15 +2,20 @@
 // increments arrive as batches; each batch is corroborated under the trust
 // accumulated from everything seen before, and verdicts on brand-new facts
 // come purely from the carried multi-value trust — no re-processing of old
-// data. The second half of the walk-through checkpoints the stream to a
-// byte buffer and resumes it in a sharded engine: restored state and shard
-// count never change a verdict.
+// data. The second act checkpoints the stream to a byte buffer and resumes
+// it in a sharded engine: restored state and shard count never change a
+// verdict. The final act moves the checkpoint to disk through the
+// crash-safe CheckpointSink and shows its self-healing resume: a corrupt
+// checkpoint is quarantined and the service starts fresh instead of
+// refusing to come up.
 package main
 
 import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"corroborate"
@@ -72,7 +77,42 @@ func main() {
 	for _, name := range names {
 		fmt.Printf("  %-14s %.2f\n", name, trust[name])
 	}
-	fmt.Printf("total: %d batches, %d facts corroborated\n", restored.Batches(), len(restored.Decided()))
+	fmt.Printf("total: %d batches, %d facts corroborated\n\n", restored.Batches(), len(restored.Decided()))
+
+	// Durable checkpointing: the sink fsyncs the temp file and parent
+	// directory around an atomic rename, so a crash at any instant leaves
+	// either the old or the new checkpoint — never a torn file.
+	dir, err := os.MkdirTemp("", "corroborate-stream-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sink := corroborate.NewCheckpointSink(filepath.Join(dir, "state.json"))
+	if err := sink.Save(restored); err != nil {
+		log.Fatal(err)
+	}
+	resumed, rep, err := sink.Restore(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("durable resume: resumed=%v, %d batches carried\n", rep.Resumed, resumed.Batches())
+
+	// Self-healing: tear the checkpoint in half, as a crash of a LESS
+	// careful writer might. Restore quarantines the damage and starts
+	// fresh rather than blocking the service on a bad recovery point.
+	raw, err := os.ReadFile(sink.Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(sink.Path, raw[:len(raw)/2], 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fresh, rep, err := sink.Restore(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after corruption: resumed=%v, quarantined=%s, fresh stream at batch %d\n",
+		rep.Resumed, filepath.Base(rep.QuarantinedPath), fresh.Batches())
 }
 
 // engine is the batch surface shared by Stream and ShardedStream.

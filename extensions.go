@@ -28,6 +28,19 @@ type (
 	BatchVote = core.BatchVote
 	// StreamFact is one corroborated fact of a stream.
 	StreamFact = core.StreamFact
+	// GroupPanicError is the typed rejection a stream returns when a fact
+	// group's decision panicked even on the contained sequential path; the
+	// batch is rolled back atomically.
+	GroupPanicError = core.GroupPanicError
+	// CheckpointSink is the crash-safe, self-healing home of a stream
+	// checkpoint: fsync-before-rename saves with capped deterministic retry
+	// backoff, and quarantine of corrupt checkpoints on resume.
+	CheckpointSink = core.CheckpointSink
+	// Checkpointer is anything a CheckpointSink can save.
+	Checkpointer = core.Checkpointer
+	// RestoreReport describes how CheckpointSink.Restore found the
+	// checkpoint: resumed, fresh, or quarantined-and-fresh.
+	RestoreReport = core.RestoreReport
 
 	// DependenceMatrix holds pairwise source-dependence posteriors.
 	DependenceMatrix = depend.Matrix
@@ -54,6 +67,10 @@ func RestoreStream(r io.Reader) (*Stream, error) { return core.RestoreStream(r) 
 func RestoreShardedStream(r io.Reader, shards int) (*ShardedStream, error) {
 	return core.RestoreShardedStream(r, shards)
 }
+
+// NewCheckpointSink returns a crash-safe checkpoint sink at path with
+// production defaults (real filesystem, real clock, 3 retries).
+func NewCheckpointSink(path string) *CheckpointSink { return core.NewCheckpointSink(path) }
 
 // DependVoting returns the dependence-aware voting method: it detects
 // likely copier cliques from shared false affirmations (Dong et al.,

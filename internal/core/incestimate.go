@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -168,9 +169,27 @@ func (e *IncEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
 	return run.Result, nil
 }
 
+// RunContext is Run under a context: cancellation or deadline expiry is
+// checked at every round boundary (time point) and aborts the run with an
+// error wrapping ctx.Err(). Rounds are never interrupted mid-flight, so a
+// cancelled run has absorbed either all or none of any round's outcomes.
+func (e *IncEstimate) RunContext(ctx context.Context, d *truth.Dataset) (*truth.Result, error) {
+	run, err := e.RunDetailedContext(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return run.Result, nil
+}
+
 // RunDetailed executes the algorithm and returns the result together with
 // the trust trajectory of every time point.
 func (e *IncEstimate) RunDetailed(d *truth.Dataset) (*Run, error) {
+	return e.RunDetailedContext(context.Background(), d)
+}
+
+// RunDetailedContext is RunDetailed under a context, with the same
+// round-boundary cancellation contract as RunContext.
+func (e *IncEstimate) RunDetailedContext(ctx context.Context, d *truth.Dataset) (*Run, error) {
 	if e.Strategy != SelectHeu && e.Strategy != SelectPS && e.Strategy != SelectScale && e.Strategy != SelectHybrid {
 		return nil, fmt.Errorf("core: unknown selector %d", int(e.Strategy))
 	}
@@ -182,16 +201,23 @@ func (e *IncEstimate) RunDetailed(d *truth.Dataset) (*Run, error) {
 		return nil, fmt.Errorf("core: initial trust %v out of [0, 1]", init)
 	}
 	if e.reference {
-		return e.runReference(d, init)
+		return e.runReference(ctx, d, init)
 	}
-	return e.runEngine(d, init)
+	return e.runEngine(ctx, d, init)
+}
+
+// cancelledAt renders a round-boundary cancellation, preserving ctx.Err()
+// for errors.Is.
+func cancelledAt(ctx context.Context, round, remaining int) error {
+	return fmt.Errorf("core: corroboration cancelled at round %d with %d facts remaining: %w",
+		round, remaining, ctx.Err())
 }
 
 // runEngine is the incremental realization of Algorithm 1: identical
 // round structure to runReference, with every trust-vector read, group
 // probability, and ∆H entropy term served from the engine's exact caches
 // (see index.go and deltah.go).
-func (e *IncEstimate) runEngine(d *truth.Dataset, init float64) (*Run, error) {
+func (e *IncEstimate) runEngine(ctx context.Context, d *truth.Dataset, init float64) (*Run, error) {
 	groups := buildGroups(d)
 	state := newTrustState(d.NumSources(), init)
 	if e.AnchoredTrust {
@@ -204,6 +230,9 @@ func (e *IncEstimate) runEngine(d *truth.Dataset, init float64) (*Run, error) {
 	remaining := d.NumFacts()
 	round := 0
 	for remaining > 0 {
+		if ctx.Err() != nil {
+			return nil, cancelledAt(ctx, round, remaining)
+		}
 		eng.syncTrust()
 		if e.AnchoredTrust {
 			// Anchors use the cached probabilities under the previous
@@ -368,7 +397,7 @@ func (eng *engine) stepPS() []int {
 // runReference is the pre-engine implementation, retained verbatim as the
 // semantic reference: the equivalence suite asserts the engine produces
 // byte-identical Result and Trajectory output on every strategy and knob.
-func (e *IncEstimate) runReference(d *truth.Dataset, init float64) (*Run, error) {
+func (e *IncEstimate) runReference(ctx context.Context, d *truth.Dataset, init float64) (*Run, error) {
 	groups := buildGroups(d)
 	state := newTrustState(d.NumSources(), init)
 	if e.AnchoredTrust {
@@ -382,6 +411,9 @@ func (e *IncEstimate) runReference(d *truth.Dataset, init float64) (*Run, error)
 	remaining := d.NumFacts()
 	round := 0
 	for remaining > 0 {
+		if ctx.Err() != nil {
+			return nil, cancelledAt(ctx, round, remaining)
+		}
 		if e.AnchoredTrust {
 			refreshAnchors(state, groups, prevTrust)
 		}

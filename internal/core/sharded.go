@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,9 +52,16 @@ func (ss *ShardedStream) Shards() int { return ss.shards }
 // the outcomes deterministically. Output and state are byte-identical to
 // Stream.AddBatch on the same history.
 func (ss *ShardedStream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
+	return ss.AddBatchContext(context.Background(), votes)
+}
+
+// AddBatchContext is AddBatch under a context, with the same atomic
+// rejection contract as Stream.AddBatchContext: a cancelled batch leaves
+// the stream at the previous batch boundary, valid and checkpointable.
+func (ss *ShardedStream) AddBatchContext(ctx context.Context, votes []BatchVote) ([]StreamFact, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	return ss.addBatchLocked(votes, ss.shards)
+	return ss.addBatchLocked(ctx, votes, ss.shards)
 }
 
 // shardOf assigns a fact-group signature to a shard via FNV-1a. The hash
@@ -73,14 +81,23 @@ func shardOf(signature string, shards int) int {
 // signature hash and the shards are drained by a bounded worker pool; each
 // worker writes only its own shards' ordinal slots, so the fan-out is
 // data-race free and the filled arrays are independent of scheduling.
-func (st *Stream) decideGroups(groups []*group, trust []float64, shards int) (raw, final []float64) {
+//
+// Failure handling is a degradation ladder. A panic inside a shard worker
+// is recovered into a *GroupPanicError and the whole batch is re-decided
+// on the sequential path — decisions are pure functions of (group,
+// batch-entry trust), so the retry recomputes every slot and the output
+// stays byte-identical to an undisturbed run. Only when the sequential
+// retry panics too (a deterministic bug, not a scheduling casualty) does
+// the error surface, and the caller rejects the batch atomically.
+// Cancellation aborts between groups and returns ctx.Err().
+func (st *Stream) decideGroups(ctx context.Context, groups []*group, trust []float64, shards int) (raw, final []float64, err error) {
 	raw = make([]float64, len(groups))
 	final = make([]float64, len(groups))
 	if shards <= 1 || len(groups) < streamShardThreshold {
-		for _, g := range groups {
-			raw[g.ord], final[g.ord] = st.decideGroup(g, trust)
+		if err := st.decideSequential(ctx, groups, trust, raw, final); err != nil {
+			return nil, nil, err
 		}
-		return raw, final
+		return raw, final, nil
 	}
 	buckets := make([][]*group, shards)
 	for _, g := range groups {
@@ -94,7 +111,12 @@ func (st *Stream) decideGroups(groups []*group, trust []float64, shards int) (ra
 	if workers > shards {
 		workers = shards
 	}
-	var next atomic.Int64
+	var (
+		next     atomic.Int64
+		abort    atomic.Bool
+		mu       sync.Mutex
+		panicked *GroupPanicError
+	)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -102,15 +124,56 @@ func (st *Stream) decideGroups(groups []*group, trust []float64, shards int) (ra
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= shards {
+				if i >= shards || abort.Load() || ctx.Err() != nil {
 					return
 				}
 				for _, g := range buckets[i] {
-					raw[g.ord], final[g.ord] = st.decideGroup(g, trust)
+					r, fin, perr := st.decideGroupGuarded(g, trust)
+					if perr != nil {
+						mu.Lock()
+						if panicked == nil {
+							panicked = perr
+						}
+						mu.Unlock()
+						abort.Store(true)
+						return
+					}
+					raw[g.ord], final[g.ord] = r, fin
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return raw, final
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, nil, cerr
+	}
+	if panicked != nil {
+		// Degrade: one shard worker went down; retry the whole batch
+		// sequentially with containment still on. Every slot is
+		// recomputed, so the partially filled arrays carry no state over.
+		if err := st.decideSequential(ctx, groups, trust, raw, final); err != nil {
+			return nil, nil, err
+		}
+	}
+	return raw, final, nil
+}
+
+// decideSequential decides every group in ordinal-slot order on the
+// calling goroutine, with panic containment and periodic cancellation
+// checks. It is both the small-batch fast path and the degraded retry
+// path of the sharded engine.
+func (st *Stream) decideSequential(ctx context.Context, groups []*group, trust []float64, raw, final []float64) error {
+	for i, g := range groups {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		r, fin, perr := st.decideGroupGuarded(g, trust)
+		if perr != nil {
+			return perr
+		}
+		raw[g.ord], final[g.ord] = r, fin
+	}
+	return nil
 }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"time"
+
+	"corroborate/internal/fault"
+)
+
+// CheckpointSink is the crash-safe, self-healing durable home of a
+// stream's checkpoint. It upgrades the bare temp-write-and-rename of
+// earlier versions to the full crash-consistency protocol:
+//
+//  1. write the checkpoint to a temp file in the target's directory,
+//  2. fsync the temp file (data on stable storage before it is visible),
+//  3. close it, checking the error (close can surface deferred write
+//     failures on some filesystems),
+//  4. atomically rename it over the target,
+//  5. fsync the parent directory (the rename itself on stable storage).
+//
+// A crash at any point leaves either the previous checkpoint or the new
+// one fully intact — never a torn file — which the fault-injection
+// battery proves by killing the filesystem between every pair of steps.
+//
+// Transient write failures (a full disk draining, a flaky fsync) are
+// retried with capped deterministic exponential backoff: MaxRetries
+// retries after the first attempt, sleeping BaseDelay, 2·BaseDelay,
+// 4·BaseDelay, … capped at MaxDelay, through the injectable Sleeper.
+//
+// On resume, a checkpoint that exists but fails decoding or checksum
+// verification is quarantined — renamed to <path>.corrupt — and the
+// stream starts fresh instead of refusing to serve: in a long-lived
+// pipeline a half-written recovery point must cost the accumulated trust,
+// not availability. The quarantined bytes stay on disk for forensics.
+//
+// The zero value of every optional field selects production behaviour:
+// the real filesystem, the real clock, 3 retries, 10ms base delay.
+type CheckpointSink struct {
+	// Path is the checkpoint's durable location.
+	Path string
+	// FS is the filesystem; nil means the real one (fault.OS()).
+	FS fault.FS
+	// Sleeper paces retry backoff; nil means the real clock.
+	Sleeper fault.Sleeper
+	// MaxRetries is how many times a failed save is retried after the
+	// first attempt; 0 means 3. Negative disables retries.
+	MaxRetries int
+	// BaseDelay is the first backoff delay, doubled per retry; 0 means
+	// 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means 500ms.
+	MaxDelay time.Duration
+}
+
+// Checkpointer is anything that can serialize a checkpoint — a *Stream, a
+// *ShardedStream, or any future engine that writes the same envelope.
+type Checkpointer interface {
+	Checkpoint(w io.Writer) error
+}
+
+// RestoreReport describes how a Restore call found the checkpoint.
+type RestoreReport struct {
+	// Resumed is true when a valid checkpoint was loaded.
+	Resumed bool
+	// QuarantinedPath is non-empty when a corrupt checkpoint was moved
+	// aside; the returned stream is then a fresh start.
+	QuarantinedPath string
+	// Cause is the decode error that triggered the quarantine.
+	Cause error
+}
+
+// NewCheckpointSink returns a sink with production defaults.
+func NewCheckpointSink(path string) *CheckpointSink { return &CheckpointSink{Path: path} }
+
+func (s *CheckpointSink) fileSystem() fault.FS {
+	if s.FS != nil {
+		return s.FS
+	}
+	return fault.OS()
+}
+
+func (s *CheckpointSink) sleeper() fault.Sleeper {
+	if s.Sleeper != nil {
+		return s.Sleeper
+	}
+	return fault.Std()
+}
+
+func (s *CheckpointSink) retries() int {
+	if s.MaxRetries == 0 {
+		return 3
+	}
+	if s.MaxRetries < 0 {
+		return 0
+	}
+	return s.MaxRetries
+}
+
+func (s *CheckpointSink) delays() (base, limit time.Duration) {
+	base, limit = s.BaseDelay, s.MaxDelay
+	if base == 0 {
+		base = 10 * time.Millisecond
+	}
+	if limit == 0 {
+		limit = 500 * time.Millisecond
+	}
+	return base, limit
+}
+
+// Save durably replaces the checkpoint with c's current state, retrying
+// transient failures with capped exponential backoff. On return with nil
+// error the new checkpoint is on stable storage; on error the previous
+// checkpoint (if any) is still intact.
+func (s *CheckpointSink) Save(c Checkpointer) error {
+	base, limit := s.delays()
+	delay := base
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.saveOnce(c)
+		if err == nil {
+			return nil
+		}
+		if attempt >= s.retries() {
+			break
+		}
+		s.sleeper().Sleep(delay)
+		if delay *= 2; delay > limit {
+			delay = limit
+		}
+	}
+	return fmt.Errorf("core: checkpoint save failed after %d attempts: %w", s.retries()+1, err)
+}
+
+// saveOnce runs one pass of the crash-consistency protocol.
+func (s *CheckpointSink) saveOnce(c Checkpointer) error {
+	fsys := s.fileSystem()
+	dir := filepath.Dir(s.Path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(s.Path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: creating checkpoint temp file: %w", err)
+	}
+	name := tmp.Name()
+	if err := fillAndClose(tmp, c); err != nil {
+		removeQuiet(fsys, name)
+		return fmt.Errorf("core: writing checkpoint temp file: %w", err)
+	}
+	if err := fsys.Rename(name, s.Path); err != nil {
+		removeQuiet(fsys, name)
+		return fmt.Errorf("core: publishing checkpoint: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("core: syncing checkpoint directory: %w", err)
+	}
+	return nil
+}
+
+// fillAndClose writes the checkpoint into tmp, fsyncs, and closes it
+// exactly once, reporting the first failure of the chain.
+func fillAndClose(tmp fault.File, c Checkpointer) error {
+	err := c.Checkpoint(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// removeQuiet is best-effort temp cleanup on an already-failing path; the
+// retry loop creates a fresh temp file either way, and a leftover temp
+// never shadows the checkpoint (rename is the only publication).
+func removeQuiet(fsys fault.FS, name string) {
+	_ = fsys.Remove(name)
+}
+
+// Restore opens the checkpoint and returns a stream continuing it, with
+// the given shard count. A missing checkpoint is a fresh start. A corrupt
+// checkpoint — torn bytes, checksum mismatch, invalid state — is
+// quarantined to Path+".corrupt" and reported through the RestoreReport,
+// and a fresh stream is returned: restart is never blocked by a bad
+// recovery point. Hard I/O errors (permissions, a failing disk) still
+// error — they are repairable, and silently dropping history over them
+// would not be.
+func (s *CheckpointSink) Restore(shards int) (*ShardedStream, RestoreReport, error) {
+	fsys := s.fileSystem()
+	f, err := fsys.Open(s.Path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return NewShardedStream(shards), RestoreReport{}, nil
+		}
+		return nil, RestoreReport{}, fmt.Errorf("core: opening checkpoint %s: %w", s.Path, err)
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, RestoreReport{}, fmt.Errorf("core: reading checkpoint %s: %w", s.Path, err)
+	}
+	ss, derr := RestoreShardedStream(bytes.NewReader(data), shards)
+	if derr == nil {
+		return ss, RestoreReport{Resumed: true}, nil
+	}
+	quarantine := s.Path + ".corrupt"
+	if qerr := fsys.Rename(s.Path, quarantine); qerr != nil {
+		return nil, RestoreReport{Cause: derr},
+			fmt.Errorf("core: quarantining corrupt checkpoint %s: %w", s.Path, qerr)
+	}
+	if serr := fsys.SyncDir(filepath.Dir(s.Path)); serr != nil {
+		return nil, RestoreReport{QuarantinedPath: quarantine, Cause: derr},
+			fmt.Errorf("core: syncing directory after quarantine: %w", serr)
+	}
+	return NewShardedStream(shards), RestoreReport{QuarantinedPath: quarantine, Cause: derr}, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"corroborate/internal/truth"
+)
+
+// FuzzRestore: for ANY bytes sitting at the checkpoint path, the sink must
+// hand back a working stream — resumed when the envelope is valid,
+// quarantined-and-fresh otherwise — and never panic, never hard-error on
+// corruption, and never leave the path blocked for the next save. This is
+// the self-healing contract of CheckpointSink under arbitrary disk rot.
+// Run open-ended with `go test -run='^$' -fuzz=FuzzRestore ./internal/core`
+// (make fuzz-smoke does a bounded pass).
+func FuzzRestore(f *testing.F) {
+	st := NewShardedStream(2)
+	if _, err := st.AddBatch([]BatchVote{
+		{Fact: "a", Source: "s1", Vote: truth.Affirm},
+		{Fact: "a", Source: "s2", Vote: truth.Affirm},
+		{Fact: "b", Source: "s1", Vote: truth.Deny},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	var live bytes.Buffer
+	if err := st.Checkpoint(&live); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(live.Bytes())
+	f.Add(live.Bytes()[:live.Len()/2])          // torn tail
+	f.Add(append([]byte("x"), live.Bytes()...)) // leading garbage
+	f.Add([]byte(``))                           // zero-length
+	f.Add([]byte(`{}`))                         // empty envelope
+	f.Add([]byte("\x00\xff\x00\xff"))           // binary noise
+	f.Add([]byte(`{"format":"corroborate/stream-checkpoint","version":1,"checksum":"00000000","state":null}`))
+
+	probe := []BatchVote{
+		{Fact: "probe", Source: "s9", Vote: truth.Affirm},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "state.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sink := NewCheckpointSink(path)
+		ss, report, err := sink.Restore(2)
+		if err != nil {
+			t.Fatalf("restore hard-errored on byte input: %v", err)
+		}
+		if report.Resumed {
+			if report.QuarantinedPath != "" {
+				t.Fatalf("resumed AND quarantined: %+v", report)
+			}
+		} else {
+			// Every existing-but-invalid input must be quarantined, the
+			// corrupt bytes preserved verbatim, and the path cleared.
+			if report.QuarantinedPath == "" || report.Cause == nil {
+				t.Fatalf("fresh start without quarantine for existing file: %+v", report)
+			}
+			moved, rerr := os.ReadFile(report.QuarantinedPath)
+			if rerr != nil {
+				t.Fatalf("quarantine file unreadable: %v", rerr)
+			}
+			if !bytes.Equal(moved, data) {
+				t.Fatal("quarantine altered the corrupt bytes")
+			}
+			if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+				t.Fatalf("checkpoint path still occupied after quarantine: %v", serr)
+			}
+		}
+		// Whatever came back must be a live stream: corroborate and save.
+		if _, err := ss.AddBatch(probe); err != nil {
+			t.Fatalf("restored stream rejected a valid batch: %v", err)
+		}
+		if err := sink.Save(ss); err != nil {
+			t.Fatalf("save after restore: %v", err)
+		}
+		if _, report, err := sink.Restore(2); err != nil || !report.Resumed {
+			t.Fatalf("round trip after healing: err=%v report=%+v", err, report)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"corroborate/internal/fault"
+)
+
+// sinkWorld builds a deterministic three-batch world plus a reference
+// stream fed all of it, for the crash-consistency batteries.
+func sinkWorld(t *testing.T) (batches [][]BatchVote, ref *ShardedStream) {
+	t.Helper()
+	d := randomDataset(31, 6, 120)
+	batches = splitByFact(d, 3)
+	ref = NewShardedStream(3)
+	feed(t, ref, batches)
+	return batches, ref
+}
+
+func TestSinkSaveRestoreRoundTrip(t *testing.T) {
+	batches, ref := sinkWorld(t)
+	path := filepath.Join(t.TempDir(), "state.json")
+	sink := NewCheckpointSink(path)
+
+	st := NewShardedStream(3)
+	feed(t, st, batches[:2])
+	if err := sink.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	restored, report, err := sink.Restore(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Resumed || report.QuarantinedPath != "" {
+		t.Fatalf("report = %+v, want clean resume", report)
+	}
+	feed(t, restored, batches[2:])
+	requireStreamsIdentical(t, "restored continuation", restored, ref)
+}
+
+func TestSinkRestoreMissingIsFreshStart(t *testing.T) {
+	sink := NewCheckpointSink(filepath.Join(t.TempDir(), "absent", "state.json"))
+	st, report, err := sink.Restore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Resumed || report.QuarantinedPath != "" {
+		t.Fatalf("report = %+v, want fresh start", report)
+	}
+	if st.Batches() != 0 {
+		t.Fatal("fresh stream carries batches")
+	}
+}
+
+// TestSinkCrashAtRenameResumesEitherSide is the issue's acceptance
+// criterion: a crash between temp-write and rename leaves either the old
+// or the new checkpoint, and resume ALWAYS succeeds — from whichever
+// survived — and replays to the reference state.
+func TestSinkCrashAtRenameResumesEitherSide(t *testing.T) {
+	for _, applied := range []bool{false, true} {
+		batches, ref := sinkWorld(t)
+		dir := t.TempDir()
+		path := filepath.Join(dir, "state.json")
+
+		// First life: one batch, one clean checkpoint.
+		st := NewShardedStream(3)
+		feed(t, st, batches[:1])
+		ifs := fault.NewInjectFS(fault.OS(), 1)
+		sink := &CheckpointSink{Path: path, FS: ifs, Sleeper: fault.NewRecorder()}
+		if err := sink.Save(st); err != nil {
+			t.Fatal(err)
+		}
+
+		// Second batch; the process dies mid-rename while rewriting.
+		feed(t, st, batches[1:2])
+		ifs.CrashAtRename(applied)
+		if err := sink.Save(st); !errors.Is(err, fault.ErrCrashed) {
+			t.Fatalf("applied=%v: Save = %v, want ErrCrashed", applied, err)
+		}
+
+		// Restart: fresh filesystem handle over the same directory.
+		sink2 := NewCheckpointSink(path)
+		restored, report, err := sink2.Restore(3)
+		if err != nil {
+			t.Fatalf("applied=%v: resume blocked: %v", applied, err)
+		}
+		if !report.Resumed {
+			t.Fatalf("applied=%v: no checkpoint survived the crash", applied)
+		}
+		wantBatches := 1
+		if applied {
+			wantBatches = 2
+		}
+		if got := restored.Batches(); got != wantBatches {
+			t.Fatalf("applied=%v: resumed at batch %d, want %d", applied, got, wantBatches)
+		}
+		feed(t, restored, batches[wantBatches:])
+		requireStreamsIdentical(t, "replay after rename crash", restored, ref)
+	}
+}
+
+// TestSinkCrashDuringTempWriteKeepsOldCheckpoint: a torn write inside the
+// temp file must never reach the published checkpoint.
+func TestSinkCrashDuringTempWriteKeepsOldCheckpoint(t *testing.T) {
+	batches, ref := sinkWorld(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	st := NewShardedStream(3)
+	feed(t, st, batches[:1])
+	ifs := fault.NewInjectFS(fault.OS(), 5)
+	sink := &CheckpointSink{Path: path, FS: ifs, Sleeper: fault.NewRecorder()}
+	if err := sink.Save(st); err != nil {
+		t.Fatal(err)
+	}
+
+	feed(t, st, batches[1:2])
+	ifs.TearWrites(1)
+	if err := sink.Save(st); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("Save = %v, want ErrCrashed", err)
+	}
+
+	restored, report, err := NewCheckpointSink(path).Restore(3)
+	if err != nil || !report.Resumed {
+		t.Fatalf("resume after torn temp write: err=%v report=%+v", err, report)
+	}
+	if got := restored.Batches(); got != 1 {
+		t.Fatalf("resumed at batch %d, want the pre-crash 1", got)
+	}
+	feed(t, restored, batches[1:])
+	requireStreamsIdentical(t, "replay after torn write", restored, ref)
+}
+
+// TestSinkRetriesTransientFaults: short writes and fsync failures are
+// retried on the deterministic backoff schedule and the save lands.
+func TestSinkRetriesTransientFaults(t *testing.T) {
+	batches, _ := sinkWorld(t)
+	st := NewShardedStream(3)
+	feed(t, st, batches[:1])
+
+	for name, arm := range map[string]func(*fault.InjectFS){
+		"short write": func(f *fault.InjectFS) { f.ShortWrites(1) },
+		"fsync":       func(f *fault.InjectFS) { f.FailSyncs(2) },
+		"dir fsync":   func(f *fault.InjectFS) { f.FailDirSyncs(1) },
+	} {
+		dir := t.TempDir()
+		ifs := fault.NewInjectFS(fault.OS(), 9)
+		arm(ifs)
+		rec := fault.NewRecorder()
+		sink := &CheckpointSink{
+			Path: filepath.Join(dir, "state.json"), FS: ifs, Sleeper: rec,
+			BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+		}
+		if err := sink.Save(st); err != nil {
+			t.Fatalf("%s: Save with transient faults: %v", name, err)
+		}
+		slept := rec.Slept()
+		if len(slept) == 0 {
+			t.Fatalf("%s: no backoff recorded; fault never fired", name)
+		}
+		for i, d := range slept {
+			want := time.Millisecond << i
+			if want > 4*time.Millisecond {
+				want = 4 * time.Millisecond
+			}
+			if d != want {
+				t.Fatalf("%s: backoff[%d] = %v, want %v (schedule %v)", name, i, d, want, slept)
+			}
+		}
+		if _, report, err := NewCheckpointSink(sink.Path).Restore(3); err != nil || !report.Resumed {
+			t.Fatalf("%s: restore after retried save: err=%v report=%+v", name, err, report)
+		}
+	}
+}
+
+func TestSinkRetriesExhausted(t *testing.T) {
+	batches, _ := sinkWorld(t)
+	st := NewShardedStream(3)
+	feed(t, st, batches[:1])
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := NewCheckpointSink(path).Save(st); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ifs := fault.NewInjectFS(fault.OS(), 2)
+	ifs.FailSyncs(100)
+	sink := &CheckpointSink{Path: path, FS: ifs, Sleeper: fault.NewRecorder(), MaxRetries: 2,
+		BaseDelay: time.Millisecond}
+	feed(t, st, batches[1:2])
+	if err := sink.Save(st); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Save = %v, want ErrInjected after exhausted retries", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed save disturbed the previous checkpoint")
+	}
+}
+
+// TestSinkQuarantinesCorruptCheckpoints is the resume-from-corruption
+// battery: truncated, bit-flipped, and zero-length checkpoints are moved
+// to .corrupt and the stream starts fresh — never a hard error, never a
+// silent half-restore.
+func TestSinkQuarantinesCorruptCheckpoints(t *testing.T) {
+	batches, _ := sinkWorld(t)
+	st := NewShardedStream(3)
+	feed(t, st, batches[:2])
+	var valid bytes.Buffer
+	if err := st.Checkpoint(&valid); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":   func(b []byte) []byte { return b[:len(b)/2] },
+		"zero-length": func([]byte) []byte { return nil },
+		"bit-flipped": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		},
+	}
+	for name, corrupt := range corruptions {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "state.json")
+		damaged := corrupt(valid.Bytes())
+		if err := os.WriteFile(path, damaged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sink := NewCheckpointSink(path)
+		fresh, report, err := sink.Restore(3)
+		if err != nil {
+			t.Fatalf("%s: restore errored instead of quarantining: %v", name, err)
+		}
+		if report.Resumed {
+			t.Fatalf("%s: corrupt checkpoint resumed", name)
+		}
+		if report.QuarantinedPath != path+".corrupt" || report.Cause == nil {
+			t.Fatalf("%s: report = %+v, want quarantine with cause", name, report)
+		}
+		if fresh.Batches() != 0 || len(fresh.Decided()) != 0 {
+			t.Fatalf("%s: fresh stream carries state", name)
+		}
+		// The damaged bytes moved aside for forensics; the path is free.
+		moved, err := os.ReadFile(report.QuarantinedPath)
+		if err != nil {
+			t.Fatalf("%s: quarantine file: %v", name, err)
+		}
+		if !bytes.Equal(moved, damaged) {
+			t.Fatalf("%s: quarantine altered the corrupt bytes", name)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s: corrupt checkpoint still at %s", name, path)
+		}
+		// The fresh stream is fully usable and its saves land cleanly.
+		feed(t, fresh, batches[:1])
+		if err := sink.Save(fresh); err != nil {
+			t.Fatalf("%s: save after quarantine: %v", name, err)
+		}
+		if _, report, err := sink.Restore(3); err != nil || !report.Resumed {
+			t.Fatalf("%s: second restore: err=%v report=%+v", name, err, report)
+		}
+	}
+}
+
+// TestSinkQuarantineViaFaultFS routes the corruption battery through the
+// fault fs shim itself: a torn write that the protocol is prevented from
+// fsync-protecting (simulated by corrupting the published file directly)
+// must still quarantine cleanly on the injected filesystem.
+func TestSinkQuarantineViaFaultFS(t *testing.T) {
+	batches, _ := sinkWorld(t)
+	st := NewShardedStream(3)
+	feed(t, st, batches[:1])
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := NewCheckpointSink(path).Save(st); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ifs := fault.NewInjectFS(fault.OS(), 13)
+	sink := &CheckpointSink{Path: path, FS: ifs, Sleeper: fault.NewRecorder()}
+	fresh, report, err := sink.Restore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Resumed || report.QuarantinedPath == "" {
+		t.Fatalf("report = %+v, want quarantine", report)
+	}
+	feed(t, fresh, batches)
+	if err := sink.Save(fresh); err != nil {
+		t.Fatal(err)
+	}
+}

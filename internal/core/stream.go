@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"corroborate/internal/fault"
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
@@ -34,8 +37,12 @@ import (
 // versions documented Stream as not safe for concurrent use; the lock is
 // new, the single-threaded behaviour is unchanged.)
 //
-// AddBatch is atomic: a rejected batch leaves the stream untouched — no
-// sources are interned, no trust moves, no facts are decided.
+// AddBatch is atomic: a rejected batch — whether refused by validation,
+// cancelled through its context, or aborted by a contained group panic —
+// leaves the stream untouched: no sources are interned, no trust moves,
+// no facts are decided. The stream therefore always sits at a batch
+// boundary, which is exactly the state Checkpoint snapshots; cancellation
+// can never produce a half-absorbed, un-checkpointable trust state.
 type Stream struct {
 	// Config is applied to every batch; the zero value is the scale
 	// profile, which suits open-ended streams.
@@ -49,6 +56,37 @@ type Stream struct {
 
 	// decided accumulates every fact this stream has corroborated.
 	decided []StreamFact
+
+	// panics is the fault-injection hook for the robustness battery; nil
+	// (the default) costs one pointer check per decided group.
+	panics *fault.Panics
+}
+
+// GroupPanicError reports a panic captured while deciding one fact group.
+// A panicking shard worker degrades the batch to the sequential path; the
+// error only reaches the caller when the sequential retry panics too — a
+// deterministic bug in the decision function rather than a transient
+// scheduling casualty. The batch is rejected atomically either way.
+type GroupPanicError struct {
+	// Signature is the vote signature of the group whose decision panicked.
+	Signature string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *GroupPanicError) Error() string {
+	return fmt.Sprintf("core: panic deciding fact group %q: %v", e.Signature, e.Value)
+}
+
+// InjectPanics installs a fault.Panics injector whose sites are keyed by
+// fact-group vote signature; nil disarms. Tests use it to prove the
+// degradation ladder; production streams leave it unset.
+func (st *Stream) InjectPanics(p *fault.Panics) {
+	st.mu.Lock()
+	st.panics = p
+	st.mu.Unlock()
 }
 
 // StreamFact is one corroborated fact of a stream.
@@ -146,9 +184,19 @@ func validateBatch(votes []BatchVote) error {
 // incremental algorithm. It returns the batch's corroborated facts in
 // evaluation order.
 func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
+	return st.AddBatchContext(context.Background(), votes)
+}
+
+// AddBatchContext is AddBatch under a context: cancellation or deadline
+// expiry rejects the batch atomically — the stream stays at the previous
+// batch boundary, valid and checkpointable — and returns an error wrapping
+// ctx.Err(). The context is consulted before corroboration starts, between
+// group decisions, and once more before outcomes are absorbed; absorption
+// itself always runs to completion so no partial trust update can exist.
+func (st *Stream) AddBatchContext(ctx context.Context, votes []BatchVote) ([]StreamFact, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.addBatchLocked(votes, 1)
+	return st.addBatchLocked(ctx, votes, 1)
 }
 
 // addBatchLocked is the shared batch pipeline of Stream and ShardedStream:
@@ -158,10 +206,21 @@ func (st *Stream) AddBatch(votes []BatchVote) ([]StreamFact, error) {
 // it every floating-point accumulation — is independent of the shard count
 // and of goroutine scheduling, which is what keeps ShardedStream output
 // byte-identical to the sequential stream.
-func (st *Stream) addBatchLocked(votes []BatchVote, shards int) ([]StreamFact, error) {
+//
+// Failures after validation (cancellation, an uncontainable group panic)
+// roll back the source interning they may have caused, restoring the
+// stream bit-for-bit to its pre-batch state.
+func (st *Stream) addBatchLocked(ctx context.Context, votes []BatchVote, shards int) ([]StreamFact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: batch rejected: %w", err)
+	}
 	if err := validateBatch(votes); err != nil {
 		return nil, err
 	}
+	// Snapshot for rollback: everything the pipeline mutates before the
+	// point of no return is the source table and the trust-state arrays.
+	preSources, preInit := len(st.names), st.initDone
+
 	// Build a dataset for the batch with globally interned sources.
 	b := truth.NewBuilder()
 	for _, n := range st.names {
@@ -194,7 +253,19 @@ func (st *Stream) addBatchLocked(votes []BatchVote, shards int) ([]StreamFact, e
 
 	groups := buildGroups(d)
 	trust := st.state.vector()
-	raw, final := st.decideGroups(groups, trust, shards)
+	raw, final, err := st.decideGroups(ctx, groups, trust, shards)
+	if err == nil {
+		// Point of no return: beyond this check the outcomes are absorbed
+		// unconditionally, landing the stream on the next batch boundary.
+		err = ctx.Err()
+	}
+	if err != nil {
+		st.rollbackBatch(preSources, preInit)
+		if _, isPanic := err.(*GroupPanicError); !isPanic {
+			err = fmt.Errorf("core: batch cancelled: %w", err)
+		}
+		return nil, err
+	}
 
 	// Order: confident negatives first, then positives by size — one
 	// macro time point of the scale profile over the batch's groups. The
@@ -244,6 +315,7 @@ func (st *Stream) addBatchLocked(votes []BatchVote, shards int) ([]StreamFact, e
 // in (g, trust) — it never reads mutable stream state — so shards may call
 // it concurrently.
 func (st *Stream) decideGroup(g *group, trust []float64) (raw, final float64) {
+	st.panics.Fire(g.signature)
 	p := score.Corrob(g.votes, trust)
 	raw, final = p, p
 	if st.Config.Strategy == SelectScale || st.Config.Strategy == SelectHeu {
@@ -257,4 +329,37 @@ func (st *Stream) decideGroup(g *group, trust []float64) (raw, final float64) {
 		}
 	}
 	return raw, final
+}
+
+// decideGroupGuarded is decideGroup with panic containment: a panic —
+// injected by the fault battery or thrown by a real bug — is recovered
+// into a typed *GroupPanicError instead of unwinding the worker goroutine
+// (which would kill the process: an unrecovered panic on any goroutine is
+// fatal in Go).
+func (st *Stream) decideGroupGuarded(g *group, trust []float64) (raw, final float64, perr *GroupPanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			perr = &GroupPanicError{Signature: g.signature, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	raw, final = st.decideGroup(g, trust)
+	return raw, final, nil
+}
+
+// rollbackBatch undoes the interning side effects of a failed batch,
+// restoring the source table and trust-state arrays to their pre-batch
+// shape. No trust values moved (absorption never ran), so truncation is a
+// complete undo.
+func (st *Stream) rollbackBatch(preSources int, preInit bool) {
+	for _, n := range st.names[preSources:] {
+		delete(st.sources, n)
+	}
+	st.names = st.names[:preSources]
+	if !preInit {
+		st.state = nil
+		st.initDone = false
+		return
+	}
+	st.state.credit = st.state.credit[:preSources]
+	st.state.count = st.state.count[:preSources]
 }

@@ -1,0 +1,128 @@
+// Package fault is a seeded, deterministic fault-injection framework for
+// the streaming pipeline's robustness battery. Production code depends
+// only on its interfaces (FS for durable checkpoint I/O, Sleeper for
+// retry backoff, Panics for panic sites); the default implementations —
+// the real filesystem, the real clock, a disarmed injector — add one nil
+// check to the hot path. Tests swap in the injecting implementations to
+// produce, on demand and reproducibly, the failures a long-lived
+// corroboration service actually meets: short and torn writes, fsync
+// failures, a crash between temp-write and rename, a panicking shard
+// worker, and slow transient I/O worth backing off from.
+//
+// Everything is deterministic by construction: faults fire on explicit
+// arm counts (not probabilities), and where an injected fault has a free
+// parameter — how much of a torn write reaches the disk — the value is
+// drawn from a seeded generator owned by the injector, so a failing seed
+// reproduces bit-for-bit.
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Injected is the panic value thrown by an armed Panics site. Recovery
+// code can detect injected panics with a type assertion, but should treat
+// them exactly like real ones — that equivalence is what makes the
+// injection tests meaningful.
+type Injected struct {
+	// Key is the site key the panic was armed on (for the streaming
+	// pipeline: the fact group's vote signature).
+	Key string
+}
+
+func (i Injected) String() string { return fmt.Sprintf("fault: injected panic at %q", i.Key) }
+
+// Panics is a deterministic panic injector: test code arms a site key
+// with a fire count, production code calls Fire at the site, and the
+// injector panics while the count lasts. A nil *Panics never fires, so
+// call sites need no guard beyond the nil receiver check Fire performs
+// itself. Safe for concurrent use — shard workers fire concurrently.
+type Panics struct {
+	mu    sync.Mutex
+	armed map[string]int
+	fired map[string]int
+}
+
+// NewPanics returns an injector with no armed sites.
+func NewPanics() *Panics {
+	return &Panics{armed: make(map[string]int), fired: make(map[string]int)}
+}
+
+// Arm makes the next `times` Fire calls on key panic; times < 0 arms the
+// site forever (every Fire panics — the "deterministic bug" mode that
+// exhausts the degradation ladder).
+func (p *Panics) Arm(key string, times int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.armed[key] = times
+}
+
+// Fired returns how many times the site has actually panicked.
+func (p *Panics) Fired(key string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired[key]
+}
+
+// Fire panics with an Injected value if key is armed; a nil receiver or
+// an unarmed key is a no-op.
+func (p *Panics) Fire(key string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	n, ok := p.armed[key]
+	if !ok || n == 0 {
+		p.mu.Unlock()
+		return
+	}
+	if n > 0 {
+		p.armed[key] = n - 1
+	}
+	p.fired[key]++
+	p.mu.Unlock()
+	panic(Injected{Key: key})
+}
+
+// Sleeper abstracts backoff waiting so retry schedules are testable
+// without wall-clock time.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Std returns the real clock: Sleep is time.Sleep.
+func Std() Sleeper { return stdSleeper{} }
+
+type stdSleeper struct{}
+
+func (stdSleeper) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Recorder is a test Sleeper that returns immediately and records every
+// requested delay, letting tests assert the exact deterministic backoff
+// schedule. Safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+// NewRecorder returns an empty recording sleeper.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Sleep records d and returns without waiting.
+func (r *Recorder) Sleep(d time.Duration) {
+	r.mu.Lock()
+	r.slept = append(r.slept, d)
+	r.mu.Unlock()
+}
+
+// Slept returns a copy of the recorded delays in request order.
+func (r *Recorder) Slept() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.slept...)
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheck reports Close() calls whose error is silently dropped on files
+// that were opened for WRITING. On many filesystems a write error only
+// surfaces at close (delayed allocation, NFS commit-on-close), so a bare
+// `f.Close()` or `defer f.Close()` after os.Create can acknowledge a
+// checkpoint or result file that never reached the disk — exactly the torn
+// state the crash-safe checkpoint protocol exists to rule out. The repo
+// idiom is to fold the close error into the function's return:
+//
+//	defer func() {
+//		if cerr := f.Close(); err == nil {
+//			err = cerr
+//		}
+//	}()
+//
+// Read-only opens (os.Open) are exempt: close-on-read cannot lose data.
+// An explicit `_ = f.Close()` is also accepted as a deliberate, visible
+// discard (the suppression of this analyzer, made grep-able).
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "Close() error dropped on a file opened for writing",
+	Run:  runCloseCheck,
+}
+
+// writableOpeners are the call names that yield a file handle with pending
+// writes. Package functions are matched against os; bare method names
+// (fsys.CreateTemp, ...) are matched by name alone, which deliberately
+// catches filesystem abstractions like fault.FS.
+var writableOpeners = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkCloseInFunc(pass, fn.Body)
+			return true
+		})
+	}
+}
+
+// checkCloseInFunc scans one function body: first collect every variable
+// bound to a writable-open result, then flag Close() statements on those
+// variables whose error vanishes.
+func checkCloseInFunc(pass *Pass, body *ast.BlockStmt) {
+	writable := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !opensWritable(pass.Info, call) {
+			return true
+		}
+		// The handle is the first non-blank LHS of file-like type.
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := objectOf(pass.Info, id); obj != nil && hasCloseMethod(obj.Type()) {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = stmt.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = stmt.Call
+		default:
+			return true
+		}
+		if name, obj := closeTarget(pass.Info, call); obj != nil && writable[obj] {
+			pass.Reportf(call.Pos(),
+				"%s.Close() error dropped on a file opened for writing; deferred write failures surface at close — fold it into the return (if cerr := %s.Close(); err == nil { err = cerr }) or discard explicitly (_ = %s.Close())",
+				name, name, name)
+		}
+		return true
+	})
+}
+
+// opensWritable reports whether call opens a file for writing: an os
+// package function or any method whose name is a writable opener.
+func opensWritable(info *types.Info, call *ast.CallExpr) bool {
+	if name, ok := pkgCall(info, call, "os"); ok {
+		return writableOpeners[name]
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// pkgCall already rejected package qualifiers other than os; only
+	// treat true method calls (receiver has a non-package object) here.
+	if id, ok := sel.X.(*ast.Ident); ok && pkgNameOf(info, id) != "" {
+		return false
+	}
+	return writableOpeners[sel.Sel.Name]
+}
+
+// closeTarget matches v.Close() with no arguments and returns the receiver
+// name and object.
+func closeTarget(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	if call == nil || len(call.Args) != 0 {
+		return "", nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return "", nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	return id.Name, objectOf(info, id)
+}
+
+// objectOf resolves an identifier to its object through either Defs (the
+// := binding) or Uses (later references).
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if info == nil {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// hasCloseMethod reports whether t (or *t) has a Close() error method, so
+// non-file results of Create-named calls (builders, records) stay exempt.
+func hasCloseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if closeIn(types.NewMethodSet(t)) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return closeIn(types.NewMethodSet(types.NewPointer(t)))
+	}
+	return false
+}
+
+func closeIn(ms *types.MethodSet) bool {
+	for i := 0; i < ms.Len(); i++ {
+		f, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || f.Name() != "Close" {
+			continue
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if named, ok := sig.Results().At(0).Type().(*types.Named); ok && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}

@@ -126,6 +126,7 @@ func Analyzers() []*Analyzer {
 		MapDet,
 		GlobalRand,
 		GoNoSync,
+		CloseCheck,
 	}
 }
 

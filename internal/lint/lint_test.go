@@ -26,6 +26,7 @@ func TestAnalyzerGolden(t *testing.T) {
 		{dir: "mapdet", analyzers: "mapdet"},
 		{dir: "globalrand", analyzers: "globalrand"},
 		{dir: "gonosync", analyzers: "gonosync"},
+		{dir: "closecheck", analyzers: "closecheck"},
 		{dir: "suppress", analyzers: ""},
 	}
 	loader, err := NewLoader(".")

@@ -1,0 +1,100 @@
+// Package fixture exercises the closecheck analyzer: dropping the Close()
+// error of a file opened for writing can acknowledge data that never hit
+// the disk; the error must be folded into the return or discarded with an
+// explicit blank assignment.
+package fixture
+
+import "os"
+
+// tempFS mimics a filesystem abstraction (like the fault-injection shim):
+// method-call openers are tracked by name, not just os package functions.
+type tempFS interface {
+	CreateTemp(dir, pattern string) (*os.File, error)
+}
+
+// bareClose drops the error on a written file: reported.
+func bareClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+// deferredClose defers the bare call, losing the error after every write
+// in the function: reported.
+func deferredClose(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// methodOpener gets its writable handle from an abstraction's CreateTemp:
+// reported.
+func methodOpener(fsys tempFS, dir string) error {
+	tmp, err := fsys.CreateTemp(dir, "x-*")
+	if err != nil {
+		return err
+	}
+	tmp.Close()
+	return nil
+}
+
+// foldedClose checks the close error in the repo's deferred-fold idiom:
+// clean.
+func foldedClose(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// inlineChecked consumes the error at the call site: clean.
+func inlineChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if cerr := f.Close(); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// explicitDiscard documents that the error is intentionally dropped (an
+// error-path cleanup where the original failure wins): clean.
+func explicitDiscard(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close()
+}
+
+// readOnly closes a file opened only for reading; nothing can be lost:
+// clean.
+func readOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
