@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-invariants vet lint race check bench fuzz-smoke
+.PHONY: all build test test-invariants vet lint race check bench fuzz-smoke golden
 
 all: build
 
@@ -21,18 +21,27 @@ vet:
 	$(GO) vet ./...
 
 # lint runs corrolint, the repository's domain-aware static-analysis suite
-# (floatexact, logguard, mapdet, globalrand, gonosync, closecheck); see
-# cmd/corrolint.
+# (floatexact, logguard, mapdet, globalrand, gonosync, closecheck,
+# loopdriver); see cmd/corrolint.
 lint:
 	$(GO) run ./cmd/corrolint ./...
 
 # The race target covers internal/core — the parallel ∆H ranker, the sharded
 # stream's worker pool, and the fault-injection suite (worker panics,
-# mid-batch cancellation, filesystem faults) — plus internal/fault itself;
-# the equivalence and differential tests force the concurrent paths even on
-# one CPU.
+# mid-batch cancellation, filesystem faults) — plus internal/fault itself,
+# the engine runtime, and the root package's per-method observer and
+# mid-run-cancellation tests; the equivalence and differential tests force
+# the concurrent paths even on one CPU.
 race:
-	$(GO) test -race ./internal/core/... ./internal/fault/...
+	$(GO) test -race ./internal/core/... ./internal/fault/... ./internal/engine/...
+	$(GO) test -race -run 'TestObserverRoundCount|TestCancellationPerMethod|TestPreCancelledContext' .
+
+# golden regenerates the differential-test fixtures under testdata/golden
+# and the corrolint analyzer goldens — run it after a deliberate
+# output-format or numeric change, then review the diff.
+golden:
+	$(GO) test -run TestGoldenDifferential -update .
+	$(GO) test -run TestAnalyzerGolden -update ./internal/lint
 
 # check is the CI gate: compile, static checks (vet + corrolint), the full
 # test suite with and without runtime invariants, and the race detector.

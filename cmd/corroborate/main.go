@@ -48,11 +48,35 @@ func run() error {
 	checkpoint := flag.String("checkpoint", "", "with -stream: resume from this checkpoint file if it exists and rewrite it after every batch")
 	list := flag.Bool("list", false, "list available methods and exit")
 	trajectory := flag.Bool("trajectory", false, "print the incremental trust trajectory (IncEst* methods)")
+	maxIter := flag.Int("maxiter", 0, "override the method's iteration/round cap (0 runs zero rounds; negative removes the cap)")
+	tol := flag.Float64("tol", 0, "override the method's convergence tolerance (0 demands an exact fixpoint)")
+	seed := flag.Int64("seed", 0, "override the RNG seed of seeded methods")
 	flag.Parse()
 
+	// Pointer options distinguish an explicitly passed zero from an unset
+	// flag, so only flags the user actually set override the defaults.
+	var opts corroborate.RunOptions
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "maxiter":
+			opts.MaxIter = corroborate.OptInt(*maxIter)
+		case "tol":
+			opts.Tolerance = corroborate.OptFloat(*tol)
+		case "seed":
+			opts.Seed = corroborate.OptSeed(*seed)
+		}
+	})
+
 	if *list {
-		for _, m := range corroborate.Methods() {
-			fmt.Println(m.Name())
+		mark := func(v bool) byte {
+			if v {
+				return '*'
+			}
+			return '-'
+		}
+		fmt.Println("name                  iter seed paper                              description")
+		for _, e := range corroborate.MethodInfos() {
+			fmt.Printf("%-21s %c    %c    %-34s %s\n", e.Name, mark(e.Iterative), mark(e.Seeded), e.Paper, e.Doc)
 		}
 		return nil
 	}
@@ -66,6 +90,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// SIGINT/SIGTERM cancel at the next round boundary; a started round
+	// always completes before the run aborts.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	var d *corroborate.Dataset
 	switch *format {
 	case "csv":
@@ -83,7 +112,7 @@ func run() error {
 
 	var result *corroborate.Result
 	if inc, ok := m.(*corroborate.IncEstimate); ok && *trajectory {
-		run, err := inc.RunDetailed(d)
+		run, err := inc.RunDetailedWith(ctx, d, opts)
 		if err != nil {
 			return err
 		}
@@ -97,7 +126,7 @@ func run() error {
 			fmt.Println()
 		}
 	} else {
-		result, err = m.Run(d)
+		result, err = corroborate.RunWith(ctx, m, d, opts)
 		if err != nil {
 			return err
 		}
@@ -129,7 +158,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		otherResult, err := other.Run(d)
+		otherResult, err := corroborate.RunWith(ctx, other, d, opts)
 		if err != nil {
 			return err
 		}

@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/experiments"
 )
 
@@ -31,9 +35,24 @@ func run() error {
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
 	quick := flag.Bool("quick", false, "shrink the worlds for a fast pass")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	maxIter := flag.Int("maxiter", 0, "override every method's iteration cap (0 runs zero rounds; negative removes the cap)")
+	tol := flag.Float64("tol", 0, "override every iterative method's convergence tolerance (0 demands an exact fixpoint)")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Ctx: ctx}
+	// Only explicitly set flags become overrides: -maxiter 0 and -tol 0 are
+	// meaningful values, not "use the default".
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "maxiter":
+			opts.MaxIter = engine.Int(*maxIter)
+		case "tol":
+			opts.Tolerance = engine.Float64(*tol)
+		}
+	})
 	runners := experiments.Runners()
 	if *name != "" {
 		r, ok := experiments.ByName(*name)

@@ -36,12 +36,14 @@
 package corroborate
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"corroborate/internal/baseline"
 	"corroborate/internal/bayes"
 	"corroborate/internal/core"
+	"corroborate/internal/engine"
 	"corroborate/internal/metrics"
 	"corroborate/internal/ml"
 	"corroborate/internal/truth"
@@ -183,27 +185,100 @@ func MLLogistic() Method { return ml.MLLogistic{} }
 // cross-validation over the golden set).
 func MLNaiveBayes() Method { return ml.MLNaiveBayes{} }
 
-// Methods returns every corroboration method in presentation order.
-func Methods() []Method {
-	return []Method{
-		Voting(), Counting(), BayesEstimate(), TwoEstimate(), ThreeEstimate(),
-		TruthFinder(), AvgLog(), Invest(), PooledInvest(),
-		MLSVM(), MLLogistic(), MLNaiveBayes(),
-		IncEstPS(), IncEstHeu(), IncEstScale(),
-	}
+// Shared engine runtime, re-exported from internal/engine.
+type (
+	// RunOptions are the caller-supplied run options every method accepts
+	// through RunWith: context, iteration cap, tolerance, seed and a
+	// per-round Observer. Pointer fields distinguish "unset" (nil — use the
+	// method's paper default) from an explicit zero.
+	RunOptions = engine.Options
+	// Round is the per-round observation delivered to a RoundObserver.
+	Round = engine.Round
+	// RoundObserver receives one Round after every completed iteration.
+	RoundObserver = engine.Observer
+	// MethodInfo is one registry row: the method's constructor plus the
+	// metadata behind the CLI's -list output and the README method table.
+	MethodInfo = engine.Entry
+)
+
+// Pointer helpers for RunOptions' optional fields.
+var (
+	// OptInt builds a *int for RunOptions.MaxIter.
+	OptInt = engine.Int
+	// OptFloat builds a *float64 for RunOptions.Tolerance.
+	OptFloat = engine.Float64
+	// OptSeed builds a *int64 for RunOptions.Seed.
+	OptSeed = engine.Int64
+)
+
+// RunWith executes any method under the shared runtime: cancellation is
+// checked at every round boundary, and opts overrides the method's default
+// iteration cap, tolerance and seed and attaches an Observer. With empty
+// options it is byte-identical to m.Run(d).
+func RunWith(ctx context.Context, m Method, d *Dataset, opts RunOptions) (*Result, error) {
+	return engine.Run(ctx, m, d, opts)
 }
+
+// registry is the method catalogue: registration order is presentation
+// order (the paper's baselines first, comparators next, the incremental
+// algorithms last, mirroring the evaluation tables).
+var registry = buildRegistry()
+
+func buildRegistry() *engine.Registry {
+	r := engine.NewRegistry()
+	for _, e := range []MethodInfo{
+		{Name: "Voting", Paper: "§2.1", Doc: "majority baseline: true with at least as many T as F votes", New: Voting},
+		{Name: "Counting", Paper: "§2.1", Doc: "quorum baseline: true when more than half of all sources affirm", New: Counting},
+		{Name: "BayesEstimate", Paper: "§2.2 (Zhao et al. 2012)", Doc: "latent truth model inferred by collapsed Gibbs sampling", Iterative: true, Seeded: true, New: BayesEstimate},
+		{Name: "TwoEstimate", Paper: "§2.1 (Galland et al. 2010)", Doc: "trust/probability fixpoint with normalization", Iterative: true, New: TwoEstimate},
+		{Name: "ThreeEstimate", Paper: "§2.1 (Galland et al. 2010)", Doc: "TwoEstimate plus per-fact difficulty", Iterative: true, New: ThreeEstimate},
+		{Name: "TruthFinder", Paper: "§7 (Yin et al. 2008)", Doc: "log-trust confidence propagation with logistic squash", Iterative: true, New: TruthFinder},
+		{Name: "AvgLog", Paper: "§7 (Pasternack & Roth 2010)", Doc: "belief flow with log claim-count trust", Iterative: true, New: AvgLog},
+		{Name: "Invest", Paper: "§7 (Pasternack & Roth 2010)", Doc: "trust invested across claims, super-linear belief growth", Iterative: true, New: Invest},
+		{Name: "PooledInvest", Paper: "§7 (Pasternack & Roth 2010)", Doc: "Invest with linear pooling and √count trust", Iterative: true, New: PooledInvest},
+		{Name: "ML-SVM (SMO)", Paper: "§6.1.1", Doc: "SMO-trained SVM, 10-fold CV over the golden set", Iterative: true, Seeded: true, New: MLSVM},
+		{Name: "ML-Logistic", Paper: "§6.1.1", Doc: "logistic regression, 10-fold CV over the golden set", Iterative: true, Seeded: true, New: MLLogistic},
+		{Name: "ML-NaiveBayes", Paper: "comparator extension", Doc: "categorical naive Bayes, 10-fold CV over the golden set", Iterative: true, Seeded: true, New: MLNaiveBayes},
+		{Name: "IncEstPS", Paper: "§5.2", Doc: "incremental corroboration, greedy highest-probability selection", Iterative: true, New: func() Method { return IncEstPS() }},
+		{Name: "IncEstHeu", Paper: "§5 (Algorithms 1–2)", Doc: "incremental corroboration with entropy-driven (∆H) selection", Iterative: true, New: func() Method { return IncEstHeu() }},
+		{Name: "IncEstScale", Paper: "DESIGN.md §5", Doc: "scale-stabilized incremental profile with deferral band", Iterative: true, New: func() Method { return IncEstScale() }},
+	} {
+		r.MustRegister(e)
+	}
+	return r
+}
+
+// Methods returns every corroboration method in presentation order.
+func Methods() []Method { return registry.Methods() }
+
+// MethodInfos returns the registry metadata in presentation order.
+func MethodInfos() []MethodInfo { return registry.Entries() }
 
 // NewMethod resolves a method by its display name (case-insensitive), as
 // used by the command-line tools.
 func NewMethod(name string) (Method, error) {
-	for _, m := range Methods() {
-		if strings.EqualFold(m.Name(), name) {
-			return m, nil
+	if e, ok := registry.Lookup(name); ok {
+		return e.New(), nil
+	}
+	return nil, fmt.Errorf("corroborate: unknown method %q (available: %s)",
+		name, strings.Join(registry.Names(), ", "))
+}
+
+// RegistryTable renders the registry as a GitHub-flavored markdown table —
+// the generated section of README.md (kept in sync by a test).
+func RegistryTable() string {
+	var b strings.Builder
+	b.WriteString("| Method | Paper | Iterative | Seeded | Description |\n")
+	b.WriteString("|---|---|:---:|:---:|---|\n")
+	mark := func(v bool) string {
+		if v {
+			return "✓"
 		}
+		return "–"
 	}
-	var names []string
-	for _, m := range Methods() {
-		names = append(names, m.Name())
+	for _, e := range registry.Entries() {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			e.Name, e.Paper, mark(e.Iterative), mark(e.Seeded), e.Doc)
 	}
-	return nil, fmt.Errorf("corroborate: unknown method %q (available: %s)", name, strings.Join(names, ", "))
+	return b.String()
 }

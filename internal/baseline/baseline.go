@@ -9,9 +9,29 @@
 package baseline
 
 import (
+	"context"
+
+	"corroborate/internal/engine"
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
+
+// oneShot runs a non-iterative method body as a single driver round, so
+// the one-shot baselines share the runtime's cancellation and Observer
+// contract with the fixpoint methods.
+func oneShot(ctx context.Context, opts engine.Options, body func() (*truth.Result, error)) (*truth.Result, error) {
+	cfg := opts.Resolve(ctx, engine.Defaults{MaxIter: 1})
+	cfg.MaxIter, cfg.Capped = 1, true
+	var r *truth.Result
+	if _, err := engine.Iterate(cfg, func(int) (float64, bool, error) {
+		var err error
+		r, err = body()
+		return engine.NoDelta, true, err
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
 
 // Voting considers a fact true when it has at least as many T votes as F
 // votes. In the paper's affirmative-statement scenario it degenerates to
@@ -21,6 +41,13 @@ type Voting struct{}
 
 // Name implements truth.Method.
 func (Voting) Name() string { return "Voting" }
+
+// RunWith implements engine.Runner as a single driver round: the options'
+// iteration knobs have nothing to cap, but cancellation and Observers
+// behave like every other method's.
+func (v Voting) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	return oneShot(ctx, opts, func() (*truth.Result, error) { return v.Run(d) })
+}
 
 // Run implements truth.Method.
 func (Voting) Run(d *truth.Dataset) (*truth.Result, error) {
@@ -51,6 +78,11 @@ type Counting struct{}
 // Name implements truth.Method.
 func (Counting) Name() string { return "Counting" }
 
+// RunWith implements engine.Runner as a single driver round, like Voting's.
+func (c Counting) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	return oneShot(ctx, opts, func() (*truth.Result, error) { return c.Run(d) })
+}
+
 // Run implements truth.Method.
 func (Counting) Run(d *truth.Dataset) (*truth.Result, error) {
 	r := truth.NewResult("Counting", d)
@@ -79,8 +111,10 @@ func (Counting) Run(d *truth.Dataset) (*truth.Result, error) {
 }
 
 var (
-	_ truth.Method = Voting{}
-	_ truth.Method = Counting{}
+	_ truth.Method  = Voting{}
+	_ truth.Method  = Counting{}
+	_ engine.Runner = Voting{}
+	_ engine.Runner = Counting{}
 )
 
 // trustFromProbs recomputes each source's trust as its mean credit over the

@@ -1,8 +1,10 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
@@ -28,7 +30,7 @@ type TruthFinder struct {
 	Influence float64
 	// MaxIter bounds the iterations; 0 means 100.
 	MaxIter int
-	// Tolerance is the convergence threshold on trust cosine change;
+	// Tolerance is the convergence threshold on the max trust change;
 	// 0 means 1e-6.
 	Tolerance float64
 }
@@ -36,28 +38,25 @@ type TruthFinder struct {
 // Name implements truth.Method.
 func (t *TruthFinder) Name() string { return "TruthFinder" }
 
+func (t *TruthFinder) defaults() engine.Defaults {
+	return engine.Defaults{
+		MaxIter:      engine.OrInt(t.MaxIter, 100),
+		Tolerance:    engine.OrFloat(t.Tolerance, 1e-6),
+		HasTolerance: true,
+	}
+}
+
 // Run implements truth.Method.
 func (t *TruthFinder) Run(d *truth.Dataset) (*truth.Result, error) {
-	init := t.InitialTrust
-	if init == 0 {
-		init = 0.9
-	}
-	gamma := t.Dampening
-	if gamma == 0 {
-		gamma = 0.3
-	}
-	rho := t.Influence
-	if rho == 0 {
-		rho = 0.5
-	}
-	maxIter := t.MaxIter
-	if maxIter == 0 {
-		maxIter = 100
-	}
-	tol := t.Tolerance
-	if tol == 0 {
-		tol = 1e-6
-	}
+	return t.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner.
+func (t *TruthFinder) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	cfg := opts.Resolve(ctx, t.defaults())
+	init := engine.OrFloat(t.InitialTrust, 0.9)
+	gamma := engine.OrFloat(t.Dampening, 0.3)
+	rho := engine.OrFloat(t.Influence, 0.5)
 
 	nS, nF := d.NumSources(), d.NumFacts()
 	trust := score.Fill(make([]float64, nS), init)
@@ -75,8 +74,7 @@ func (t *TruthFinder) Run(d *truth.Dataset) (*truth.Result, error) {
 		return -math.Log(1 - x)
 	}
 
-	iter := 0
-	for ; iter < maxIter; iter++ {
+	iter, err := engine.Iterate(cfg, func(int) (float64, bool, error) {
 		for f := 0; f < nF; f++ {
 			votes := d.VotesOnFact(f)
 			if len(votes) == 0 {
@@ -95,7 +93,6 @@ func (t *TruthFinder) Run(d *truth.Dataset) (*truth.Result, error) {
 			probs[f] = 1 / (1 + math.Exp(-gamma*raw))
 		}
 		next := make([]float64, nS)
-		maxDelta := 0.0
 		for s := 0; s < nS; s++ {
 			list := d.VotesBySource(s)
 			if len(list) == 0 {
@@ -107,13 +104,13 @@ func (t *TruthFinder) Run(d *truth.Dataset) (*truth.Result, error) {
 				sum += score.SourceCredit(fv.Vote, probs[fv.Fact])
 			}
 			next[s] = sum / float64(len(list))
-			maxDelta = math.Max(maxDelta, math.Abs(next[s]-trust[s]))
 		}
+		delta := engine.MaxDelta(trust, next)
 		trust = next
-		if maxDelta <= tol {
-			iter++
-			break
-		}
+		return delta, false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	r := truth.NewResult(t.Name(), d)
@@ -127,18 +124,21 @@ func (t *TruthFinder) Run(d *truth.Dataset) (*truth.Result, error) {
 // prStyle runs the generic Pasternack & Roth fixpoint shared by AvgLog,
 // Invest and PooledInvest. Belief flows from sources to the claims they
 // assert and back; variants differ in how trust is aggregated (aggTrust)
-// and how claim belief is grown (growBelief).
-func prStyle(name string, d *truth.Dataset, maxIter int,
+// and how claim belief is grown (growBelief). The schedule is a fixed
+// number of rounds: the per-round delta is the max trust change, which the
+// driver ignores unless the caller arms a tolerance explicitly.
+func prStyle(name string, d *truth.Dataset, cfg engine.Config,
 	aggTrust func(avgBelief float64, claims int) float64,
 	growBelief func(b float64) float64) (*truth.Result, error) {
 
 	nS, nF := d.NumSources(), d.NumFacts()
 	trust := score.Fill(make([]float64, nS), 1)
+	prev := make([]float64, nS)
 	beliefTrue := make([]float64, nF)
 	beliefFalse := make([]float64, nF)
 
-	iter := 0
-	for ; iter < maxIter; iter++ {
+	iter, err := engine.Iterate(cfg, func(int) (float64, bool, error) {
+		copy(prev, trust)
 		for f := range beliefTrue {
 			beliefTrue[f], beliefFalse[f] = 0, 0
 		}
@@ -191,6 +191,10 @@ func prStyle(name string, d *truth.Dataset, maxIter int,
 				trust[s] /= maxTrust
 			}
 		}
+		return engine.MaxDelta(prev, trust), false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	r := truth.NewResult(name, d)
@@ -224,11 +228,13 @@ func (AvgLog) Name() string { return "AvgLog" }
 
 // Run implements truth.Method.
 func (a AvgLog) Run(d *truth.Dataset) (*truth.Result, error) {
-	maxIter := a.MaxIter
-	if maxIter == 0 {
-		maxIter = 20
-	}
-	return prStyle(a.Name(), d, maxIter,
+	return a.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner.
+func (a AvgLog) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	cfg := opts.Resolve(ctx, engine.Defaults{MaxIter: engine.OrInt(a.MaxIter, 20)})
+	return prStyle(a.Name(), d, cfg,
 		func(avg float64, claims int) float64 {
 			if claims < 1 {
 				// prStyle only calls this for sources with claims, but keep
@@ -255,15 +261,14 @@ func (Invest) Name() string { return "Invest" }
 
 // Run implements truth.Method.
 func (iv Invest) Run(d *truth.Dataset) (*truth.Result, error) {
-	g := iv.Growth
-	if g == 0 {
-		g = 1.2
-	}
-	maxIter := iv.MaxIter
-	if maxIter == 0 {
-		maxIter = 20
-	}
-	return prStyle(iv.Name(), d, maxIter,
+	return iv.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner.
+func (iv Invest) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	g := engine.OrFloat(iv.Growth, 1.2)
+	cfg := opts.Resolve(ctx, engine.Defaults{MaxIter: engine.OrInt(iv.MaxIter, 20)})
+	return prStyle(iv.Name(), d, cfg,
 		func(avg float64, claims int) float64 { return avg },
 		func(b float64) float64 { return math.Pow(b, g) })
 }
@@ -281,11 +286,13 @@ func (PooledInvest) Name() string { return "PooledInvest" }
 
 // Run implements truth.Method.
 func (p PooledInvest) Run(d *truth.Dataset) (*truth.Result, error) {
-	maxIter := p.MaxIter
-	if maxIter == 0 {
-		maxIter = 20
-	}
-	return prStyle(p.Name(), d, maxIter,
+	return p.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner.
+func (p PooledInvest) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	cfg := opts.Resolve(ctx, engine.Defaults{MaxIter: engine.OrInt(p.MaxIter, 20)})
+	return prStyle(p.Name(), d, cfg,
 		func(avg float64, claims int) float64 {
 			return avg * math.Sqrt(float64(claims))
 		},
@@ -293,8 +300,9 @@ func (p PooledInvest) Run(d *truth.Dataset) (*truth.Result, error) {
 }
 
 var (
-	_ truth.Method = (*TruthFinder)(nil)
-	_ truth.Method = AvgLog{}
-	_ truth.Method = Invest{}
-	_ truth.Method = PooledInvest{}
+	_ truth.Method  = (*TruthFinder)(nil)
+	_ engine.Runner = (*TruthFinder)(nil)
+	_ engine.Runner = AvgLog{}
+	_ engine.Runner = Invest{}
+	_ engine.Runner = PooledInvest{}
 )

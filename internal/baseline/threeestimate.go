@@ -1,8 +1,9 @@
 package baseline
 
 import (
-	"math"
+	"context"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
@@ -33,24 +34,24 @@ type ThreeEstimate struct {
 // Name implements truth.Method.
 func (e *ThreeEstimate) Name() string { return "ThreeEstimate" }
 
+func (e *ThreeEstimate) defaults() engine.Defaults {
+	return engine.Defaults{
+		MaxIter:      engine.OrInt(e.MaxIter, 100),
+		Tolerance:    engine.OrFloat(e.Tolerance, 1e-9),
+		HasTolerance: true,
+	}
+}
+
 // Run implements truth.Method.
 func (e *ThreeEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
-	initTrust := e.InitialTrust
-	if initTrust == 0 {
-		initTrust = 0.9
-	}
-	initDiff := e.InitialDifficulty
-	if initDiff == 0 {
-		initDiff = 0.5
-	}
-	maxIter := e.MaxIter
-	if maxIter == 0 {
-		maxIter = 100
-	}
-	tol := e.Tolerance
-	if tol == 0 {
-		tol = 1e-9
-	}
+	return e.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner.
+func (e *ThreeEstimate) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	cfg := opts.Resolve(ctx, e.defaults())
+	initTrust := engine.OrFloat(e.InitialTrust, 0.9)
+	initDiff := engine.OrFloat(e.InitialDifficulty, 0.5)
 
 	nS, nF := d.NumSources(), d.NumFacts()
 	errRate := score.Fill(make([]float64, nS), 1-initTrust)
@@ -58,8 +59,7 @@ func (e *ThreeEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
 	probs := make([]float64, nF)
 	normed := make([]float64, nF)
 
-	iter := 0
-	for ; iter < maxIter; iter++ {
+	iter, err := engine.Iterate(cfg, func(int) (float64, bool, error) {
 		// Corrob with per-vote correctness 1 - ε(s)·δ(f).
 		for f := 0; f < nF; f++ {
 			votes := d.VotesOnFact(f)
@@ -96,10 +96,7 @@ func (e *ThreeEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
 			}
 			nextErr[s] = clamp01(wrong / float64(len(list)))
 		}
-		delta := 0.0
-		for s := range nextErr {
-			delta = math.Max(delta, math.Abs(nextErr[s]-errRate[s]))
-		}
+		delta := engine.MaxDelta(errRate, nextErr)
 		errRate = nextErr
 		for f := 0; f < nF; f++ {
 			votes := d.VotesOnFact(f)
@@ -112,10 +109,10 @@ func (e *ThreeEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
 			}
 			diff[f] = clamp01(wrong / float64(len(votes)))
 		}
-		if delta <= tol {
-			iter++
-			break
-		}
+		return delta, false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	r := truth.NewResult(e.Name(), d)
@@ -156,4 +153,7 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-var _ truth.Method = (*ThreeEstimate)(nil)
+var (
+	_ truth.Method  = (*ThreeEstimate)(nil)
+	_ engine.Runner = (*ThreeEstimate)(nil)
+)

@@ -1,8 +1,9 @@
 package baseline
 
 import (
-	"math"
+	"context"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
@@ -40,32 +41,29 @@ type TwoEstimate struct {
 // Name implements truth.Method.
 func (e *TwoEstimate) Name() string { return "TwoEstimate" }
 
-func (e *TwoEstimate) params() (init, tol float64, maxIter int) {
-	init = e.InitialTrust
-	if init == 0 {
-		init = 0.9
+func (e *TwoEstimate) defaults() engine.Defaults {
+	return engine.Defaults{
+		MaxIter:      engine.OrInt(e.MaxIter, 100),
+		Tolerance:    engine.OrFloat(e.Tolerance, 1e-9),
+		HasTolerance: true,
 	}
-	tol = e.Tolerance
-	if tol == 0 {
-		tol = 1e-9
-	}
-	maxIter = e.MaxIter
-	if maxIter == 0 {
-		maxIter = 100
-	}
-	return init, tol, maxIter
 }
 
 // Run implements truth.Method.
 func (e *TwoEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
-	init, tol, maxIter := e.params()
+	return e.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner.
+func (e *TwoEstimate) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	cfg := opts.Resolve(ctx, e.defaults())
+	init := engine.OrFloat(e.InitialTrust, 0.9)
 	trust := score.Fill(make([]float64, d.NumSources()), init)
 	probs := make([]float64, d.NumFacts())
 	normed := make([]float64, d.NumFacts())
 	r := truth.NewResult(e.Name(), d)
 
-	iter := 0
-	for ; iter < maxIter; iter++ {
+	iter, err := engine.Iterate(cfg, func(int) (float64, bool, error) {
 		for f := range probs {
 			probs[f] = score.Corrob(d.VotesOnFact(f), trust)
 		}
@@ -77,15 +75,12 @@ func (e *TwoEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
 			}
 		}
 		next := trustFromProbs(d, normed, init)
-		delta := 0.0
-		for s := range next {
-			delta = math.Max(delta, math.Abs(next[s]-trust[s]))
-		}
+		delta := engine.MaxDelta(trust, next)
 		trust = next
-		if delta <= tol {
-			iter++
-			break
-		}
+		return delta, false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Final probabilities under the converged trust.
 	for f := range probs {
@@ -100,4 +95,7 @@ func (e *TwoEstimate) Run(d *truth.Dataset) (*truth.Result, error) {
 	return r, nil
 }
 
-var _ truth.Method = (*TwoEstimate)(nil)
+var (
+	_ truth.Method  = (*TwoEstimate)(nil)
+	_ engine.Runner = (*TwoEstimate)(nil)
+)

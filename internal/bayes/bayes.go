@@ -20,10 +20,11 @@
 package bayes
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/truth"
 )
 
@@ -86,12 +87,33 @@ func (e *Estimate) params() (params, error) {
 
 // Run implements truth.Method.
 func (e *Estimate) Run(d *truth.Dataset) (*truth.Result, error) {
+	return e.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner. The iteration cap counts total Gibbs
+// sweeps (burn-in plus recorded samples): an explicit MaxIter override
+// keeps the burn-in and adjusts the number of recorded samples, so it must
+// exceed BurnIn. Options.Seed overrides the struct's Seed.
+func (e *Estimate) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
 	p, err := e.params()
 	if err != nil {
 		return nil, err
 	}
+	cfg := opts.Resolve(ctx, engine.Defaults{
+		MaxIter: p.burnIn + p.samples,
+		Seed:    e.Seed,
+	})
+	if opts.MaxIter != nil && cfg.Capped {
+		p.samples = cfg.MaxIter - p.burnIn
+		if p.samples <= 0 {
+			return nil, fmt.Errorf("bayes: iteration cap %d leaves no samples after the %d-sweep burn-in", cfg.MaxIter, p.burnIn)
+		}
+	}
 	nS, nF := d.NumSources(), d.NumFacts()
-	rng := rand.New(rand.NewSource(e.Seed + 1))
+	// The +1 keeps the sampler's stream distinct from seed-0 callers that
+	// share the seed with other components (and matches the historical
+	// stream, locked by the golden suite).
+	rng := engine.Rand(cfg.Seed + 1)
 
 	// Per-source counts n[s][t][o] over the current truth assignment,
 	// where o=1 iff the source affirms the fact (missing votes and F votes
@@ -199,11 +221,18 @@ func (e *Estimate) Run(d *truth.Dataset) (*truth.Result, error) {
 		}
 	}
 
-	for i := 0; i < p.burnIn; i++ {
-		sweep(false)
-	}
-	for i := 0; i < p.samples; i++ {
-		sweep(true)
+	// The Gibbs schedule is a fixed number of sweeps; the driver enforces
+	// the cap and the round-boundary cancellation, and sweeps past the
+	// burn-in record their samples.
+	runCfg := cfg
+	runCfg.MaxIter = p.burnIn + p.samples
+	runCfg.Capped = true
+	iters, err := engine.Iterate(runCfg, func(i int) (float64, bool, error) {
+		sweep(i >= p.burnIn)
+		return engine.NoDelta, false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	r := truth.NewResult(e.Name(), d)
@@ -235,7 +264,7 @@ func (e *Estimate) Run(d *truth.Dataset) (*truth.Result, error) {
 		}
 		r.Trust[s] = clamp01(sum / float64(n))
 	}
-	r.Iterations = p.burnIn + p.samples
+	r.Iterations = iters
 	r.Finalize()
 	return r, nil
 }
@@ -261,4 +290,7 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-var _ truth.Method = (*Estimate)(nil)
+var (
+	_ truth.Method  = (*Estimate)(nil)
+	_ engine.Runner = (*Estimate)(nil)
+)

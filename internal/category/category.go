@@ -16,9 +16,11 @@
 package category
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/truth"
 )
 
@@ -82,8 +84,26 @@ func (e *Estimate) Run(d *truth.Dataset) (*truth.Result, error) {
 	return r.Result, nil
 }
 
+// RunWith implements engine.Runner.
+func (e *Estimate) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	r, err := e.RunDetailedWith(ctx, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Result, nil
+}
+
 // RunDetailed partitions, corroborates per category, and stitches.
 func (e *Estimate) RunDetailed(d *truth.Dataset) (*Result, error) {
+	return e.RunDetailedWith(context.Background(), d, engine.Options{})
+}
+
+// RunDetailedWith is RunDetailed under the shared runtime. The outer loop
+// runs one driver round per category (so cancellation lands between
+// categories and an Observer sees one Round per category), while MaxIter,
+// Tolerance and Seed forward to every inner run — the iteration options
+// govern the wrapped method, not the partition sweep.
+func (e *Estimate) RunDetailedWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*Result, error) {
 	if e.Inner == nil {
 		return nil, fmt.Errorf("category: no inner method configured")
 	}
@@ -107,16 +127,28 @@ func (e *Estimate) RunDetailed(d *truth.Dataset) (*Result, error) {
 	sumTrust := make([]float64, d.NumSources())
 	cntTrust := make([]float64, d.NumSources())
 
-	for _, c := range cats {
+	// One driver round per category: the outer config takes only the
+	// context and Observer from opts, never its MaxIter/Tolerance — those
+	// belong to the inner runs below.
+	outer := (engine.Options{Ctx: opts.Ctx, Observer: opts.Observer}).
+		Resolve(ctx, engine.Defaults{MaxIter: len(cats)})
+	// Defaults treats MaxIter 0 as unbounded; an empty partition must run
+	// zero rounds, so pin the cap to the category count unconditionally.
+	outer.MaxIter = len(cats)
+	outer.Capped = true
+	inner := opts
+	inner.Observer = nil
+	if _, err := engine.Iterate(outer, func(i int) (float64, bool, error) {
+		c := cats[i]
 		facts := byCat[c]
 		sub := truth.Restrict(d, facts)
-		inner := e.Inner()
-		r, err := inner.Run(sub)
+		m := e.Inner()
+		r, err := engine.Run(outer.Ctx, m, sub, inner)
 		if err != nil {
-			return nil, fmt.Errorf("category: %s on category %q: %w", inner.Name(), c, err)
+			return 0, false, fmt.Errorf("category: %s on category %q: %w", m.Name(), c, err)
 		}
 		if err := r.Check(sub); err != nil {
-			return nil, fmt.Errorf("category: %s on category %q: %w", inner.Name(), c, err)
+			return 0, false, fmt.Errorf("category: %s on category %q: %w", m.Name(), c, err)
 		}
 		for i, f := range facts {
 			out.FactProb[f] = r.FactProb[i]
@@ -135,6 +167,9 @@ func (e *Estimate) RunDetailed(d *truth.Dataset) (*Result, error) {
 			}
 		}
 		out.PerCategory = append(out.PerCategory, ct)
+		return engine.NoDelta, false, nil
+	}); err != nil {
+		return nil, err
 	}
 	out.Trust = make([]float64, d.NumSources())
 	for s := range out.Trust {
@@ -148,4 +183,7 @@ func (e *Estimate) RunDetailed(d *truth.Dataset) (*Result, error) {
 	return out, nil
 }
 
-var _ truth.Method = (*Estimate)(nil)
+var (
+	_ truth.Method  = (*Estimate)(nil)
+	_ engine.Runner = (*Estimate)(nil)
+)

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
+	driver "corroborate/internal/engine"
 	"corroborate/internal/entropy"
 	"corroborate/internal/invariant"
 	"corroborate/internal/score"
@@ -181,6 +183,18 @@ func (e *IncEstimate) RunContext(ctx context.Context, d *truth.Dataset) (*truth.
 	return run.Result, nil
 }
 
+// RunWith implements driver.Runner: Options.MaxIter overrides MaxRounds
+// (the safety valve that sweeps everything left in one final round; an
+// explicit zero sweeps immediately under the initial trust), and an
+// Observer sees one Round per time point.
+func (e *IncEstimate) RunWith(ctx context.Context, d *truth.Dataset, opts driver.Options) (*truth.Result, error) {
+	run, err := e.RunDetailedWith(ctx, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return run.Result, nil
+}
+
 // RunDetailed executes the algorithm and returns the result together with
 // the trust trajectory of every time point.
 func (e *IncEstimate) RunDetailed(d *truth.Dataset) (*Run, error) {
@@ -190,6 +204,11 @@ func (e *IncEstimate) RunDetailed(d *truth.Dataset) (*Run, error) {
 // RunDetailedContext is RunDetailed under a context, with the same
 // round-boundary cancellation contract as RunContext.
 func (e *IncEstimate) RunDetailedContext(ctx context.Context, d *truth.Dataset) (*Run, error) {
+	return e.RunDetailedWith(ctx, d, driver.Options{})
+}
+
+// RunDetailedWith is RunDetailedContext under the shared run options.
+func (e *IncEstimate) RunDetailedWith(ctx context.Context, d *truth.Dataset, opts driver.Options) (*Run, error) {
 	if e.Strategy != SelectHeu && e.Strategy != SelectPS && e.Strategy != SelectScale && e.Strategy != SelectHybrid {
 		return nil, fmt.Errorf("core: unknown selector %d", int(e.Strategy))
 	}
@@ -201,9 +220,11 @@ func (e *IncEstimate) RunDetailedContext(ctx context.Context, d *truth.Dataset) 
 		return nil, fmt.Errorf("core: initial trust %v out of [0, 1]", init)
 	}
 	if e.reference {
+		// The semantic reference keeps its verbatim pre-runtime loop; the
+		// equivalence suite runs it only with default options.
 		return e.runReference(ctx, d, init)
 	}
-	return e.runEngine(ctx, d, init)
+	return e.runEngine(ctx, d, init, opts)
 }
 
 // cancelledAt renders a round-boundary cancellation, preserving ctx.Err()
@@ -216,8 +237,10 @@ func cancelledAt(ctx context.Context, round, remaining int) error {
 // runEngine is the incremental realization of Algorithm 1: identical
 // round structure to runReference, with every trust-vector read, group
 // probability, and ∆H entropy term served from the engine's exact caches
-// (see index.go and deltah.go).
-func (e *IncEstimate) runEngine(ctx context.Context, d *truth.Dataset, init float64) (*Run, error) {
+// (see index.go and deltah.go). The round loop runs on the shared driver:
+// one Step per time point, cancellation at round boundaries, MaxRounds
+// overridable through Options.MaxIter.
+func (e *IncEstimate) runEngine(ctx context.Context, d *truth.Dataset, init float64, opts driver.Options) (*Run, error) {
 	groups := buildGroups(d)
 	state := newTrustState(d.NumSources(), init)
 	if e.AnchoredTrust {
@@ -227,41 +250,57 @@ func (e *IncEstimate) runEngine(ctx context.Context, d *truth.Dataset, init floa
 	run := &Run{Result: result}
 	eng := newEngine(e, d, state, groups, result)
 
+	cfg := opts.Resolve(ctx, driver.Defaults{MaxIter: e.MaxRounds})
+	// The MaxRounds cap is not a hard stop: reaching it triggers the
+	// final evaluate-everything sweep, which must itself run as a round.
+	// So the valve lives inside the Step and the driver runs uncapped,
+	// terminating through the Step's done signal.
+	sweepAt, hasSweep := cfg.MaxIter, cfg.Capped
+	runCfg := cfg
+	runCfg.MaxIter, runCfg.Capped = 0, false
+
 	remaining := d.NumFacts()
-	round := 0
-	for remaining > 0 {
-		if ctx.Err() != nil {
-			return nil, cancelledAt(ctx, round, remaining)
-		}
-		eng.syncTrust()
-		if e.AnchoredTrust {
-			// Anchors use the cached probabilities under the previous
-			// round's trust, then move every source's trust — sync again.
-			eng.refreshAnchors()
+	if remaining > 0 {
+		_, err := driver.Iterate(runCfg, func(round int) (float64, bool, error) {
 			eng.syncTrust()
-		}
-		if e.MaxRounds > 0 && round >= e.MaxRounds {
-			eng.evaluateAll(run)
-			break
-		}
-		var evaluated []int
-		switch e.Strategy {
-		case SelectPS:
-			evaluated = eng.stepPS()
-		default:
-			evaluated = eng.stepBalanced()
-		}
-		if len(evaluated) == 0 {
-			return nil, fmt.Errorf("core: round %d selected no facts with %d remaining", round, remaining)
-		}
-		remaining -= len(evaluated)
-		eng.compact()
-		eng.syncTrust()
-		run.Trajectory = append(run.Trajectory, TimePoint{
-			Trust:     append([]float64(nil), eng.trust...),
-			Evaluated: evaluated,
+			if e.AnchoredTrust {
+				// Anchors use the cached probabilities under the previous
+				// round's trust, then move every source's trust — sync again.
+				eng.refreshAnchors()
+				eng.syncTrust()
+			}
+			if hasSweep && round >= sweepAt {
+				eng.evaluateAll(run)
+				remaining = 0
+				return driver.NoDelta, true, nil
+			}
+			var evaluated []int
+			switch e.Strategy {
+			case SelectPS:
+				evaluated = eng.stepPS()
+			default:
+				evaluated = eng.stepBalanced()
+			}
+			if len(evaluated) == 0 {
+				return 0, false, fmt.Errorf("core: round %d selected no facts with %d remaining", round, remaining)
+			}
+			remaining -= len(evaluated)
+			eng.compact()
+			eng.syncTrust()
+			run.Trajectory = append(run.Trajectory, TimePoint{
+				Trust:     append([]float64(nil), eng.trust...),
+				Evaluated: evaluated,
+			})
+			return driver.NoDelta, remaining == 0, nil
 		})
-		round++
+		if err != nil {
+			var c *driver.Cancelled
+			if errors.As(err, &c) {
+				return nil, fmt.Errorf("core: corroboration cancelled at round %d with %d facts remaining: %w",
+					c.Round, remaining, c.Err)
+			}
+			return nil, err
+		}
 	}
 
 	if e.AnchoredTrust {
@@ -852,7 +891,10 @@ func compact(groups []*group) []*group {
 	return out
 }
 
-var _ truth.Method = (*IncEstimate)(nil)
+var (
+	_ truth.Method  = (*IncEstimate)(nil)
+	_ driver.Runner = (*IncEstimate)(nil)
+)
 
 // NewHeu returns an IncEstimate configured for the paper's main strategy.
 func NewHeu() *IncEstimate { return &IncEstimate{Strategy: SelectHeu} }

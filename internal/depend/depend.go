@@ -13,9 +13,11 @@
 package depend
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/invariant"
 	"corroborate/internal/truth"
 )
@@ -186,9 +188,20 @@ func (Voting) Name() string { return "DependVoting" }
 
 // Run implements truth.Method.
 func (v Voting) Run(d *truth.Dataset) (*truth.Result, error) {
-	rounds := v.Rounds
-	if rounds == 0 {
-		rounds = 3
+	return v.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner: Options.MaxIter overrides the round
+// count (dependence is re-scored between rounds, never after the last).
+func (v Voting) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	rounds := engine.OrInt(v.Rounds, 3)
+	cfg := opts.Resolve(ctx, engine.Defaults{MaxIter: rounds})
+	if cfg.Capped {
+		rounds = cfg.MaxIter
+	} else {
+		// A fixed-round schedule has no unbounded reading: keep the default.
+		cfg.MaxIter = rounds
+		cfg.Capped = true
 	}
 	weights := make([]float64, d.NumSources())
 	for s := range weights {
@@ -196,7 +209,7 @@ func (v Voting) Run(d *truth.Dataset) (*truth.Result, error) {
 	}
 	r := truth.NewResult(v.Name(), d)
 	var m Matrix
-	for round := 0; round < rounds; round++ {
+	iter, err := engine.Iterate(cfg, func(round int) (float64, bool, error) {
 		for f := 0; f < d.NumFacts(); f++ {
 			votes := d.VotesOnFact(f)
 			if len(votes) == 0 {
@@ -219,14 +232,18 @@ func (v Voting) Run(d *truth.Dataset) (*truth.Result, error) {
 		}
 		r.Finalize()
 		if round == rounds-1 {
-			break
+			return engine.NoDelta, true, nil
 		}
 		var err error
 		m, err = Score(d, r, v.Options)
 		if err != nil {
-			return nil, err
+			return 0, false, err
 		}
 		weights = m.Weights()
+		return engine.NoDelta, false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Expose the final weights as a trust-like signal (a heavily copied
 	// source is not necessarily wrong, but its vote counts for less).
@@ -234,6 +251,7 @@ func (v Voting) Run(d *truth.Dataset) (*truth.Result, error) {
 	for s := range r.Trust {
 		r.Trust[s] = clamp01(weights[s])
 	}
+	r.Iterations = iter
 	return r, nil
 }
 
@@ -247,4 +265,7 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-var _ truth.Method = Voting{}
+var (
+	_ truth.Method  = Voting{}
+	_ engine.Runner = Voting{}
+)

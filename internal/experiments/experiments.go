@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"corroborate/internal/bayes"
 	"corroborate/internal/core"
 	"corroborate/internal/depend"
+	"corroborate/internal/engine"
 	"corroborate/internal/hubdub"
 	"corroborate/internal/metrics"
 	"corroborate/internal/ml"
@@ -114,6 +116,13 @@ type Options struct {
 	// Quick shrinks the worlds (~1/20 of the paper's sizes) so the whole
 	// suite runs in seconds; used by tests and quick benchmarks.
 	Quick bool
+	// Ctx, when non-nil, cancels every corroboration run at its next
+	// driver round boundary (cmd/experiments wires SIGINT here).
+	Ctx context.Context
+	// MaxIter and Tolerance, when non-nil, override each method's
+	// iteration defaults via engine.Options — explicit zero is honoured.
+	MaxIter   *int
+	Tolerance *float64
 }
 
 func (o Options) seed() int64 {
@@ -121,6 +130,25 @@ func (o Options) seed() int64 {
 		return 2
 	}
 	return o.Seed
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// engineOpts carries only the iteration knobs; seeding stays with each
+// method's constructor so the per-method seed offsets are preserved.
+func (o Options) engineOpts() engine.Options {
+	return engine.Options{MaxIter: o.MaxIter, Tolerance: o.Tolerance}
+}
+
+// run executes one method under the shared engine runtime with the
+// options' iteration and cancellation settings.
+func (o Options) run(m truth.Method, d *truth.Dataset) (*truth.Result, error) {
+	return engine.Run(o.ctx(), m, d, o.engineOpts())
 }
 
 // methodSuite returns the Table 4/5/6 method roster in presentation order.
@@ -143,7 +171,7 @@ func fmtF(x float64) string { return fmt.Sprintf("%.2f", x) }
 // evalParallel runs every method over the dataset concurrently and returns
 // the reports in input order. Each method is independent, so the
 // parallelism changes nothing but wall-clock time.
-func evalParallel(d *truth.Dataset, methods []truth.Method) ([]metrics.Report, error) {
+func evalParallel(o Options, d *truth.Dataset, methods []truth.Method) ([]metrics.Report, error) {
 	reports := make([]metrics.Report, len(methods))
 	errs := make([]error, len(methods))
 	var wg sync.WaitGroup
@@ -151,7 +179,7 @@ func evalParallel(d *truth.Dataset, methods []truth.Method) ([]metrics.Report, e
 		wg.Add(1)
 		go func(i int, m truth.Method) {
 			defer wg.Done()
-			r, err := m.Run(d)
+			r, err := o.run(m, d)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", m.Name(), err)
 				return
@@ -211,7 +239,7 @@ func Table2(o Options) (*Table, error) {
 		},
 	}
 	for _, m := range []truth.Method{&baseline.TwoEstimate{}, &bayes.Estimate{Seed: o.seed()}, core.NewHeu()} {
-		r, err := m.Run(d)
+		r, err := o.run(m, d)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on Table 1: %w", m.Name(), err)
 		}
@@ -273,7 +301,7 @@ func Table4(o Options) (*Table, error) {
 			"paper: ML-SVM .98/.74/.77, ML-Logistic .86/.85/.82, IncEstPS .66/1/.68, IncEstHeu .86/.86/.83 (141 TN)",
 		},
 	}
-	reports, err := evalParallel(w.Dataset, methodSuite(o.seed()))
+	reports, err := evalParallel(o, w.Dataset, methodSuite(o.seed()))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: Table 4: %w", err)
 	}
@@ -309,7 +337,7 @@ func Table5(o Options) (*Table, error) {
 	}
 	t.Rows = append(t.Rows, append(ref, "-"))
 	for _, m := range []truth.Method{&baseline.TwoEstimate{}, &bayes.Estimate{Seed: o.seed()}, ml.MLLogistic{Seed: o.seed()}, core.NewHeu(), core.NewScale()} {
-		r, err := m.Run(w.Dataset)
+		r, err := o.run(m, w.Dataset)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s for Table 5: %w", m.Name(), err)
 		}
@@ -378,7 +406,7 @@ func Table6(o Options) (*Table, error) {
 	}
 	for _, m := range methodSuite(o.seed()) {
 		start := time.Now()
-		if _, err := m.Run(w.Dataset); err != nil {
+		if _, err := o.run(m, w.Dataset); err != nil {
 			return nil, fmt.Errorf("experiments: timing %s: %w", m.Name(), err)
 		}
 		t.Rows = append(t.Rows, []string{m.Name(), time.Since(start).Round(time.Millisecond).String()})
@@ -414,7 +442,7 @@ func Table7(o Options) (*Table, error) {
 		&core.IncEstimate{Strategy: core.SelectScale, DeferBand: 0.12, SoftAbsorb: true},
 	}
 	for _, m := range methods {
-		r, err := m.Run(w.Dataset)
+		r, err := o.run(m, w.Dataset)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on Hubdub: %w", m.Name(), err)
 		}
@@ -442,7 +470,7 @@ func Figure2(o Options) (*Table, error) {
 		},
 	}
 	for _, e := range []*core.IncEstimate{core.NewPS(), core.NewScale()} {
-		run, err := e.RunDetailed(w.Dataset)
+		run, err := e.RunDetailedWith(o.ctx(), w.Dataset, o.engineOpts())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s trajectory: %w", e.Name(), err)
 		}
@@ -478,7 +506,7 @@ func synthAccuracy(o Options, cfg synth.Config, m truth.Method) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	r, err := m.Run(w.Dataset)
+	r, err := o.run(m, w.Dataset)
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", m.Name(), err)
 	}
@@ -609,7 +637,7 @@ func Extended(o Options) (*Table, error) {
 		depend.Voting{},
 		ml.MLNaiveBayes{Seed: o.seed()},
 	}
-	reports, err := evalParallel(w.Dataset, methods)
+	reports, err := evalParallel(o, w.Dataset, methods)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: Extended: %w", err)
 	}
@@ -643,7 +671,7 @@ func Seeds(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		reports, err := evalParallel(w.Dataset, []truth.Method{
+		reports, err := evalParallel(o, w.Dataset, []truth.Method{
 			baseline.Voting{}, &baseline.TwoEstimate{}, core.NewScale(),
 		})
 		if err != nil {
@@ -688,7 +716,7 @@ func Ablation(o Options) (*Table, error) {
 		{"IncEstPS", core.NewPS()},
 	}
 	for _, v := range variants {
-		r, err := v.e.Run(w.Dataset)
+		r, err := o.run(v.e, w.Dataset)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 		}

@@ -127,6 +127,7 @@ func Analyzers() []*Analyzer {
 		GlobalRand,
 		GoNoSync,
 		CloseCheck,
+		LoopDriver,
 	}
 }
 

@@ -27,6 +27,7 @@ func TestAnalyzerGolden(t *testing.T) {
 		{dir: "globalrand", analyzers: "globalrand"},
 		{dir: "gonosync", analyzers: "gonosync"},
 		{dir: "closecheck", analyzers: "closecheck"},
+		{dir: "loopdriver", analyzers: "loopdriver"},
 		{dir: "suppress", analyzers: ""},
 	}
 	loader, err := NewLoader(".")

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LoopDriver reports hand-rolled convergence loops outside internal/engine:
+// a `for` statement that either (a) keeps running while a floating-point
+// comparison holds (`for delta > tol { ... }`) or (b) contains an `if`
+// whose float-comparison condition guards a break or return — the classic
+// "stop when the residual drops below tolerance" shape. Since PR 5 the
+// fixpoint iteration contract (convergence check, iteration cap,
+// round-boundary cancellation, observers) lives in engine.Iterate; a method
+// that re-rolls the loop silently opts out of all of it. Convergence loops
+// belong in internal/engine (exempt), in _test.go files (where reference
+// loops ARE the assertion), or under a //lint:ignore loopdriver
+// justification — the reference implementation kept for equivalence
+// testing is the intended example.
+var LoopDriver = &Analyzer{
+	Name: "loopdriver",
+	Doc:  "hand-rolled convergence loop (float-tolerance-guarded for) outside internal/engine",
+	Run:  runLoopDriver,
+}
+
+// enginePathSuffix exempts the package that owns the iteration contract.
+const enginePathSuffix = "internal/engine"
+
+func runLoopDriver(pass *Pass) {
+	if pass.Pkg != nil {
+		p := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+		if strings.HasSuffix(p, enginePathSuffix) {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if loop.Cond != nil && hasFloatComparison(pass, loop.Cond) {
+				pass.Reportf(loop.For, "convergence loop driven by a float comparison; use engine.Iterate (or justify with //lint:ignore loopdriver <reason>)")
+				return true
+			}
+			if guard := findToleranceExit(pass, loop.Body); guard != nil {
+				pass.Reportf(loop.For, "convergence loop: float comparison guards the loop exit at line %d; use engine.Iterate (or justify with //lint:ignore loopdriver <reason>)",
+					pass.Fset.Position(guard.Pos()).Line)
+			}
+			return true
+		})
+	}
+}
+
+// hasFloatComparison reports whether expr contains, possibly under &&, ||,
+// ! or parentheses, an ordered comparison between floating-point operands.
+func hasFloatComparison(pass *Pass, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return hasFloatComparison(pass, e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.NOT && hasFloatComparison(pass, e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			return hasFloatComparison(pass, e.X) || hasFloatComparison(pass, e.Y)
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return isFloat(pass.TypeOf(e.X)) || isFloat(pass.TypeOf(e.Y))
+		}
+	}
+	return false
+}
+
+// findToleranceExit scans the loop body (without descending into nested
+// loops or function literals, which own their break/return semantics) for
+// an if statement whose condition is a float comparison and whose taken
+// branch leaves the loop via break or return. It returns the guarding if.
+func findToleranceExit(pass *Pass, body *ast.BlockStmt) *ast.IfStmt {
+	var found *ast.IfStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.IfStmt:
+			if !hasFloatComparison(pass, s.Cond) {
+				return true
+			}
+			if branchExits(s.Body) || (s.Else != nil && branchExits(s.Else)) {
+				found = s
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// branchExits reports whether stmt contains a break or return that would
+// leave the enclosing loop (again not descending into nested loops, switch
+// or select statements — their breaks bind locally — or function literals).
+func branchExits(stmt ast.Node) bool {
+	exits := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if exits {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				exits = true
+			}
+		case *ast.ReturnStmt:
+			exits = true
+		}
+		return !exits
+	})
+	return exits
+}

@@ -1,0 +1,110 @@
+// Package fixture exercises the loopdriver analyzer: for-loops that
+// hand-roll a float-tolerance convergence check are findings; counted
+// loops, integer guards, and justified reference loops are not.
+package fixture
+
+// condLoop keeps iterating while the residual exceeds the tolerance — the
+// loop condition itself is the convergence check: reported.
+func condLoop(delta, tol float64) int {
+	n := 0
+	for delta > tol {
+		delta /= 2
+		n++
+	}
+	return n
+}
+
+// guardedBreak is the break-on-converged shape: reported.
+func guardedBreak(xs []float64, tol float64) int {
+	for i := 0; i < 100; i++ {
+		delta := step(xs)
+		if delta < tol {
+			break
+		}
+	}
+	return len(xs)
+}
+
+// guardedReturn exits the loop via return instead of break: reported.
+func guardedReturn(xs []float64, tol float64) int {
+	for i := 0; i < 100; i++ {
+		if step(xs) <= tol {
+			return i
+		}
+	}
+	return -1
+}
+
+// compoundGuard hides the tolerance comparison under && with an integer
+// clause: reported.
+func compoundGuard(xs []float64, tol float64) int {
+	for i := 0; i < 100; i++ {
+		if i > 0 && step(xs) < tol {
+			break
+		}
+	}
+	return len(xs)
+}
+
+// counted is a plain counted loop with no float comparison: clean.
+func counted(xs []float64) float64 {
+	var sum float64
+	for i := 0; i < len(xs); i++ {
+		sum += xs[i]
+	}
+	return sum
+}
+
+// intGuard breaks on an integer condition: clean.
+func intGuard(xs []float64) int {
+	seen := 0
+	for i := 0; i < 100; i++ {
+		seen += int(step(xs))
+		if seen > 10 {
+			break
+		}
+	}
+	return seen
+}
+
+// floatNoExit compares floats inside the loop but never leaves it early —
+// a clamp, not a convergence check: clean.
+func floatNoExit(xs []float64, lo float64) {
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < lo {
+			xs[i] = lo
+		}
+	}
+}
+
+// nestedScope breaks out of an inner switch, not the loop; the float guard
+// never exits the iteration: clean.
+func nestedScope(xs []float64, tol float64) int {
+	n := 0
+	for i := 0; i < 100; i++ {
+		switch {
+		case step(xs) < tol:
+			n++
+		}
+		n++
+	}
+	return n
+}
+
+// justified is the sanctioned escape hatch for reference implementations.
+//
+//lint:ignore loopdriver reference loop kept for the equivalence suite
+func justified(xs []float64, tol float64) int {
+	//lint:ignore loopdriver reference loop kept for the equivalence suite
+	for step(xs) > tol {
+		xs = xs[:len(xs)-1]
+	}
+	return len(xs)
+}
+
+func step(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}

@@ -12,10 +12,11 @@
 package ml
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/truth"
 )
 
@@ -50,6 +51,17 @@ type Classifier interface {
 // the other folds. Facts outside the golden set keep probability 0.5. The
 // returned result carries the method name.
 func CrossValidate(name string, d *truth.Dataset, folds int, seed int64, newClassifier func() Classifier) (*truth.Result, error) {
+	return CrossValidateWith(name, d, context.Background(), engine.Options{}, folds, seed,
+		func(int64) Classifier { return newClassifier() })
+}
+
+// CrossValidateWith is CrossValidate under the shared runtime: each fold is
+// one driver round (cancellable at fold boundaries, reported to Observers),
+// Options.Seed overrides the fold-shuffle and classifier seed, and
+// Options.MaxIter caps how many folds run (capped-out folds keep their test
+// facts at probability 0.5). The classifier factory receives the resolved
+// seed so seeded learners stay on the run's RNG stream.
+func CrossValidateWith(name string, d *truth.Dataset, ctx context.Context, opts engine.Options, folds int, seed int64, newClassifier func(seed int64) Classifier) (*truth.Result, error) {
 	if folds < 2 {
 		return nil, fmt.Errorf("ml: need at least 2 folds, got %d", folds)
 	}
@@ -70,7 +82,17 @@ func CrossValidate(name string, d *truth.Dataset, folds int, seed int64, newClas
 		folds = total
 	}
 
-	rng := rand.New(rand.NewSource(seed + 1))
+	cfg := opts.Resolve(ctx, engine.Defaults{MaxIter: folds, Seed: seed})
+	// The schedule is exactly one round per fold: clamp any larger or
+	// unbounded cap back to the fold count.
+	if !cfg.Capped || cfg.MaxIter > folds {
+		cfg.MaxIter = folds
+		cfg.Capped = true
+	}
+
+	// The +1 keeps the shuffle stream distinct from the classifiers', which
+	// draw from the unshifted seed (locked by the golden suite).
+	rng := engine.Rand(cfg.Seed + 1)
 	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
 	rng.Shuffle(len(negs), func(i, j int) { negs[i], negs[j] = negs[j], negs[i] })
 
@@ -90,7 +112,7 @@ func CrossValidate(name string, d *truth.Dataset, folds int, seed int64, newClas
 	for f := range r.FactProb {
 		r.FactProb[f] = 0.5
 	}
-	for k := 0; k < folds; k++ {
+	iters, err := engine.Iterate(cfg, func(k int) (float64, bool, error) {
 		var trainX [][]float64
 		var trainY []float64
 		var test []int
@@ -107,17 +129,21 @@ func CrossValidate(name string, d *truth.Dataset, folds int, seed int64, newClas
 			}
 		}
 		if len(test) == 0 {
-			continue
+			return engine.NoDelta, false, nil
 		}
-		clf := newClassifier()
+		clf := newClassifier(cfg.Seed)
 		if err := clf.Fit(trainX, trainY); err != nil {
-			return nil, fmt.Errorf("ml: training fold %d: %w", k, err)
+			return 0, false, fmt.Errorf("ml: training fold %d: %w", k, err)
 		}
 		for _, f := range test {
 			r.FactProb[f] = clamp01(clf.PredictProb(Features(d, f)))
 		}
+		return engine.NoDelta, false, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	r.Iterations = folds
+	r.Iterations = iters
 	r.Finalize()
 	return r, nil
 }

@@ -1,9 +1,11 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/truth"
 )
 
@@ -115,11 +117,18 @@ func (MLLogistic) Name() string { return "ML-Logistic" }
 
 // Run implements truth.Method.
 func (m MLLogistic) Run(d *truth.Dataset) (*truth.Result, error) {
-	folds := m.Folds
-	if folds == 0 {
-		folds = 10
-	}
-	return CrossValidate(m.Name(), d, folds, m.Seed, func() Classifier { return &Logistic{} })
+	return m.RunWith(context.Background(), d, engine.Options{})
 }
 
-var _ truth.Method = MLLogistic{}
+// RunWith implements engine.Runner: Options.Seed overrides the fold
+// shuffle (the descent itself is deterministic).
+func (m MLLogistic) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	folds := engine.OrInt(m.Folds, 10)
+	return CrossValidateWith(m.Name(), d, ctx, opts, folds, m.Seed,
+		func(int64) Classifier { return &Logistic{} })
+}
+
+var (
+	_ truth.Method  = MLLogistic{}
+	_ engine.Runner = MLLogistic{}
+)

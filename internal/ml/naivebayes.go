@@ -1,9 +1,11 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/truth"
 )
 
@@ -106,14 +108,19 @@ func (MLNaiveBayes) Name() string { return "ML-NaiveBayes" }
 
 // Run implements truth.Method.
 func (m MLNaiveBayes) Run(d *truth.Dataset) (*truth.Result, error) {
-	folds := m.Folds
-	if folds == 0 {
-		folds = 10
-	}
-	return CrossValidate(m.Name(), d, folds, m.Seed, func() Classifier { return &NaiveBayes{} })
+	return m.RunWith(context.Background(), d, engine.Options{})
+}
+
+// RunWith implements engine.Runner: Options.Seed overrides the fold
+// shuffle (counting is deterministic).
+func (m MLNaiveBayes) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	folds := engine.OrInt(m.Folds, 10)
+	return CrossValidateWith(m.Name(), d, ctx, opts, folds, m.Seed,
+		func(int64) Classifier { return &NaiveBayes{} })
 }
 
 var (
-	_ Classifier   = (*NaiveBayes)(nil)
-	_ truth.Method = MLNaiveBayes{}
+	_ Classifier    = (*NaiveBayes)(nil)
+	_ truth.Method  = MLNaiveBayes{}
+	_ engine.Runner = MLNaiveBayes{}
 )

@@ -1,10 +1,11 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
+	"corroborate/internal/engine"
 	"corroborate/internal/truth"
 )
 
@@ -63,7 +64,7 @@ func (s *SVM) Fit(x [][]float64, y []float64) error {
 			return fmt.Errorf("ml: inconsistent feature dimensions %d vs %d", len(xi), dim)
 		}
 	}
-	rng := rand.New(rand.NewSource(s.Seed + 1))
+	rng := engine.Rand(s.Seed + 1)
 
 	// Precompute the Gram matrix (linear kernel); golden sets are small
 	// (hundreds of examples), so O(n²) memory is fine.
@@ -196,11 +197,18 @@ func (MLSVM) Name() string { return "ML-SVM (SMO)" }
 
 // Run implements truth.Method.
 func (m MLSVM) Run(d *truth.Dataset) (*truth.Result, error) {
-	folds := m.Folds
-	if folds == 0 {
-		folds = 10
-	}
-	return CrossValidate(m.Name(), d, folds, m.Seed, func() Classifier { return &SVM{Seed: m.Seed} })
+	return m.RunWith(context.Background(), d, engine.Options{})
 }
 
-var _ truth.Method = MLSVM{}
+// RunWith implements engine.Runner: Options.Seed overrides both the fold
+// shuffle and the SMO partner-selection stream.
+func (m MLSVM) RunWith(ctx context.Context, d *truth.Dataset, opts engine.Options) (*truth.Result, error) {
+	folds := engine.OrInt(m.Folds, 10)
+	return CrossValidateWith(m.Name(), d, ctx, opts, folds, m.Seed,
+		func(seed int64) Classifier { return &SVM{Seed: seed} })
+}
+
+var (
+	_ truth.Method  = MLSVM{}
+	_ engine.Runner = MLSVM{}
+)

@@ -1,0 +1,34 @@
+package corroborate_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"corroborate"
+)
+
+// TestREADMERegistryTable keeps the README's generated method table in
+// lockstep with the registry: the markers delimit exactly what
+// RegistryTable renders.
+func TestREADMERegistryTable(t *testing.T) {
+	const (
+		begin = "<!-- registry:begin -->"
+		end   = "<!-- registry:end -->"
+	)
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(readme[i+len(begin) : j])
+	want := strings.TrimSpace(corroborate.RegistryTable())
+	if got != want {
+		t.Errorf("README method table is out of sync with the registry.\n--- README ---\n%s\n--- RegistryTable() ---\n%s\nPaste the generated table between the markers.", got, want)
+	}
+}
