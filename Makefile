@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-invariants vet lint race check bench fuzz-smoke golden
+.PHONY: all build test test-invariants vet lint race check bench bench-smoke fuzz-smoke golden
 
 all: build
 
@@ -21,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 # lint runs corrolint, the repository's domain-aware static-analysis suite
-# (floatexact, logguard, mapdet, globalrand, gonosync, closecheck,
+# (floatexact, logguard, mapdet, heapdet, globalrand, gonosync, closecheck,
 # loopdriver); see cmd/corrolint.
 lint:
 	$(GO) run ./cmd/corrolint ./...
@@ -35,6 +35,10 @@ lint:
 race:
 	$(GO) test -race ./internal/core/... ./internal/fault/... ./internal/engine/...
 	$(GO) test -race -run 'TestObserverRoundCount|TestCancellationPerMethod|TestPreCancelledContext' .
+	# The lazy-PQ ranking suite once more with -count=2: the second run
+	# re-ranks through warm pair/key caches, racing the cache maintenance
+	# paths that a single cold run never revisits.
+	$(GO) test -race -count=2 -run 'TestLazyPQEquivalence|TestLazyPQDeterminism|TestEngineMatchesReference' ./internal/core
 
 # golden regenerates the differential-test fixtures under testdata/golden
 # and the corrolint analyzer goldens — run it after a deliberate
@@ -48,9 +52,16 @@ golden:
 check: build vet lint test test-invariants race
 
 # bench runs the core/score/entropy/truth benchmarks and refreshes
-# BENCH_1.json (see scripts/bench.sh).
+# BENCH_2.json (see scripts/bench.sh).
 bench:
 	sh scripts/bench.sh
+
+# bench-smoke compiles and single-steps every benchmark (-benchtime=1x,
+# -short skips the 200k-fact worlds): it proves the benchmarks still run —
+# a broken world builder or a renamed headline benchmark fails CI instead
+# of being discovered at the next BENCH_N refresh. No timing is recorded.
+bench-smoke:
+	$(GO) test -run='^$$' -bench . -benchtime=1x -benchmem -short ./internal/core ./internal/score ./internal/entropy ./internal/truth
 
 # fuzz-smoke gives every fuzz target a short budget (FUZZTIME each) — enough
 # to catch regressions in the parsers and normalizers without tying up CI.
@@ -61,5 +72,6 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/truth
 	$(GO) test -run='^$$' -fuzz=FuzzNormalizeAddress -fuzztime=$(FUZZTIME) ./internal/dedup
 	$(GO) test -run='^$$' -fuzz=FuzzSimilarity -fuzztime=$(FUZZTIME) ./internal/dedup
+	$(GO) test -run='^$$' -fuzz=FuzzIntern -fuzztime=$(FUZZTIME) ./internal/truth
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) ./internal/core

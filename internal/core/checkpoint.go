@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
+	"unicode/utf8"
 
 	"corroborate/internal/truth"
 )
@@ -67,17 +69,55 @@ type checkpointConfig struct {
 	DeferBand     float64 `json:"defer_band,omitempty"`
 }
 
+// Source and fact names are arbitrary byte strings (the symbol table
+// interns anything), but JSON strings must be valid UTF-8 — encoding/json
+// silently rewrites invalid bytes to U+FFFD, which would corrupt the
+// restored symbol table and with it every vote signature. Names therefore
+// travel as a canonical field pair: valid UTF-8 in "name", anything else
+// base64 in "name_b64". The decoder enforces canonical form (never both
+// fields, never base64 that decodes to valid UTF-8), keeping the encoding
+// deterministic and re-encode a fixed point.
+
 type checkpointSource struct {
-	Name   string  `json:"name"`
-	Credit float64 `json:"credit"`
-	Count  int     `json:"count"`
+	Name    string  `json:"name,omitempty"`
+	NameB64 string  `json:"name_b64,omitempty"`
+	Credit  float64 `json:"credit"`
+	Count   int     `json:"count"`
 }
 
 type checkpointFact struct {
-	Name        string      `json:"name"`
+	Name        string      `json:"name,omitempty"`
+	NameB64     string      `json:"name_b64,omitempty"`
 	Batch       int         `json:"batch"`
 	Probability float64     `json:"probability"`
 	Prediction  truth.Label `json:"prediction"`
+}
+
+// encodeName splits a caller-supplied name into the canonical field pair.
+func encodeName(name string) (plain, b64 string) {
+	if utf8.ValidString(name) {
+		return name, ""
+	}
+	return "", base64.StdEncoding.EncodeToString([]byte(name))
+}
+
+// decodeName rebuilds a name from the field pair, rejecting non-canonical
+// encodings.
+func decodeName(plain, b64, what string) (string, error) {
+	if b64 == "" {
+		return plain, nil
+	}
+	if plain != "" {
+		return "", fmt.Errorf("%s carries both name and name_b64", what)
+	}
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return "", fmt.Errorf("%s name_b64: %w", what, err)
+	}
+	if utf8.Valid(raw) {
+		return "", fmt.Errorf("%s name_b64 encodes valid UTF-8; canonical form uses name", what)
+	}
+	return string(raw), nil
 }
 
 // Checkpoint serializes the stream's full state to w. The encoding is
@@ -111,16 +151,23 @@ func (st *Stream) encodeLocked() ([]byte, error) {
 	if st.initDone {
 		cs.DefaultTrust = st.state.defaultTrust
 	}
-	for i, name := range st.names {
+	// Sources are emitted in symbol-table ID order: the interning order
+	// defines vote signatures, so preserving it is what lets the restored
+	// stream continue byte-identically.
+	for i := 0; i < st.symtab.Len(); i++ {
+		plain, b64 := encodeName(st.symtab.Name(uint32(i)))
 		cs.Sources = append(cs.Sources, checkpointSource{
-			Name:   name,
-			Credit: st.state.credit[i],
-			Count:  st.state.count[i],
+			Name:    plain,
+			NameB64: b64,
+			Credit:  st.state.credit[i],
+			Count:   st.state.count[i],
 		})
 	}
 	for _, sf := range st.decided {
+		plain, b64 := encodeName(sf.Name)
 		cs.Decided = append(cs.Decided, checkpointFact{
-			Name:        sf.Name,
+			Name:        plain,
+			NameB64:     b64,
 			Batch:       sf.Batch,
 			Probability: sf.Probability,
 			Prediction:  sf.Prediction,
@@ -195,9 +242,11 @@ func restoreInto(st *Stream, r io.Reader) error {
 	if len(cs.Sources) > 0 {
 		st.state = newTrustState(len(cs.Sources), cs.DefaultTrust)
 		st.initDone = true
+		// Re-intern onto the fresh symbol table in checkpoint order; the
+		// assigned IDs are dense and sequential because validate() already
+		// rejected duplicate names.
 		for i, src := range cs.Sources {
-			st.sources[src.Name] = i
-			st.names = append(st.names, src.Name)
+			st.symtab.Intern(src.Name)
 			st.state.credit[i] = src.Credit
 			st.state.count[i] = src.Count
 		}
@@ -266,6 +315,15 @@ func (cs *checkpointState) validate() error {
 	}
 	seen := make(map[string]bool, len(cs.Sources))
 	for i, src := range cs.Sources {
+		// Decode the canonical name pair and normalize in place: after a
+		// successful validate, .Name holds the true byte string and
+		// restoreInto never re-derives it.
+		name, err := decodeName(src.Name, src.NameB64, fmt.Sprintf("source %d", i))
+		if err != nil {
+			return err
+		}
+		cs.Sources[i].Name, cs.Sources[i].NameB64 = name, ""
+		src.Name = name
 		if seen[src.Name] {
 			return fmt.Errorf("source %q duplicated", src.Name)
 		}
@@ -284,6 +342,12 @@ func (cs *checkpointState) validate() error {
 	}
 	prevBatch := 0
 	for i, cf := range cs.Decided {
+		name, err := decodeName(cf.Name, cf.NameB64, fmt.Sprintf("decided fact %d", i))
+		if err != nil {
+			return err
+		}
+		cs.Decided[i].Name, cs.Decided[i].NameB64 = name, ""
+		cf.Name = name
 		if bad01(cf.Probability) {
 			return fmt.Errorf("decided fact %d (%q) has probability %v out of [0, 1]", i, cf.Name, cf.Probability)
 		}

@@ -260,3 +260,58 @@ func mustMarshal(v any) json.RawMessage {
 	}
 	return out
 }
+
+// TestCheckpointRestoreFreshSymbolTable pins the symbol-table contract of
+// the columnar storage layer: a restored stream re-interns the checkpoint's
+// source names onto a brand-new truth.Interner in checkpoint order, so the
+// dense uint32 IDs — and with them vote signatures and every downstream
+// accumulation order — coincide with the original stream's. Names are
+// arbitrary byte strings; the batch below includes an empty name, a
+// non-UTF-8 name, and JSON-hostile characters.
+func TestCheckpointRestoreFreshSymbolTable(t *testing.T) {
+	weird := []string{"", "\xff\xfe", "s\x00null", "quote\"brace}", "line\nbreak", "plain"}
+	st := NewStream()
+	var batch []BatchVote
+	for i, name := range weird {
+		batch = append(batch,
+			BatchVote{Fact: fmt.Sprintf("f%d", i), Source: name, Vote: truth.Affirm},
+			BatchVote{Fact: "shared", Source: name, Vote: truth.Affirm},
+		)
+	}
+	if _, err := st.AddBatch(batch); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	snap := checkpointBytes(t, st)
+
+	restored, err := RestoreStream(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatalf("RestoreStream: %v", err)
+	}
+	// The fresh interner must have re-derived the exact table: same names,
+	// same IDs, same length.
+	if restored.symtab.Len() != st.symtab.Len() {
+		t.Fatalf("restored symbol table holds %d names, want %d", restored.symtab.Len(), st.symtab.Len())
+	}
+	for i := 0; i < st.symtab.Len(); i++ {
+		if got, want := restored.symtab.Name(uint32(i)), st.symtab.Name(uint32(i)); got != want {
+			t.Fatalf("restored ID %d names %q, want %q", i, got, want)
+		}
+	}
+	if again := checkpointBytes(t, restored); !bytes.Equal(again, snap) {
+		t.Fatalf("re-encode after fresh-table restore not byte-identical:\n%s\n%s", snap, again)
+	}
+	// Continuation must be byte-identical too: the follow-up batch mixes the
+	// weird sources with a new one, exercising both re-interned IDs and a
+	// fresh assignment on each side.
+	tail := []BatchVote{
+		{Fact: "g0", Source: weird[1], Vote: truth.Deny},
+		{Fact: "g0", Source: "late-arrival", Vote: truth.Affirm},
+		{Fact: "\x80g1", Source: weird[0], Vote: truth.Affirm}, // non-UTF-8 fact name rides the decided log
+	}
+	feed(t, st, [][]BatchVote{tail})
+	feed(t, restored, [][]BatchVote{tail})
+	requireStreamsIdentical(t, "fresh-symbol-table continuation", restored, st)
+	if a, b := checkpointBytes(t, restored), checkpointBytes(t, st); !bytes.Equal(a, b) {
+		t.Fatal("continuation checkpoints diverge after fresh-table restore")
+	}
+}

@@ -152,34 +152,55 @@ func TestEngineMatchesReferenceRandom(t *testing.T) {
 	}
 }
 
-// TestParallelRankerEquivalence forces the parallel ∆H path on datasets
-// small enough that the default threshold would keep them sequential, and
-// asserts the result still matches the reference bit-for-bit (under -race
-// this also proves the worker pool is data-race free).
-func TestParallelRankerEquivalence(t *testing.T) {
-	old, oldWorkers := parallelRankThreshold, rankWorkers
-	parallelRankThreshold, rankWorkers = 2, 4
-	defer func() { parallelRankThreshold, rankWorkers = old, oldWorkers }()
+// withBudgets runs fn with the engine's cache budgets overridden, forcing
+// the lazy ranking through its degraded paths (no neighbor lists, no pair
+// rows, or a budget so small only some rows fit).
+func withBudgets(t *testing.T, nbr, pair int, fn func()) {
+	t.Helper()
+	oldNbr, oldPair := defaultNbrBudget, defaultPairBudget
+	defaultNbrBudget, defaultPairBudget = nbr, pair
+	defer func() { defaultNbrBudget, defaultPairBudget = oldNbr, oldPair }()
+	fn()
+}
 
-	d := truth.MotivatingExample()
-	for i, e := range equivConfigs() {
-		requireEquivalent(t, fmt.Sprintf("cfg%d(%s)", i, e.Name()), e, d)
+// TestLazyPQEquivalence: the lazy-greedy priority queue — stale bounds,
+// cached pair terms, and all — must reproduce the reference bit-for-bit
+// across the knob matrix, under every cache-budget degradation: full
+// caching, pair cache disabled (every surfaced candidate re-scored from the
+// neighbor lists), a pair budget too small for most rows, and no caching at
+// all (every surfaced candidate re-scored through the merge fallback).
+func TestLazyPQEquivalence(t *testing.T) {
+	budgets := []struct {
+		name      string
+		nbr, pair int
+	}{
+		{"full-cache", 4 << 20, 4 << 20},
+		{"no-pair-cache", 4 << 20, 0},
+		{"tiny-pair-cache", 4 << 20, 24},
+		{"no-cache", 0, 0},
 	}
-	for _, seed := range []uint64{3, 11, 42} {
-		wide := randomDataset(seed, 8, 120)
-		for _, e := range []*IncEstimate{NewHeu(), {Strategy: SelectHybrid}, {FlipDeltaH: true}} {
-			requireEquivalent(t, fmt.Sprintf("wide seed=%d %s", seed, e.Name()), e, wide)
-		}
+	for _, bb := range budgets {
+		t.Run(bb.name, func(t *testing.T) {
+			withBudgets(t, bb.nbr, bb.pair, func() {
+				d := truth.MotivatingExample()
+				for i, e := range equivConfigs() {
+					requireEquivalent(t, fmt.Sprintf("cfg%d(%s)", i, e.Name()), e, d)
+				}
+				for _, seed := range []uint64{3, 11, 42} {
+					wide := randomDataset(seed, 8, 120)
+					for _, e := range []*IncEstimate{NewHeu(), {Strategy: SelectHybrid}, {FlipDeltaH: true}} {
+						requireEquivalent(t, fmt.Sprintf("wide seed=%d %s", seed, e.Name()), e, wide)
+					}
+				}
+			})
+		})
 	}
 }
 
-// TestParallelRankerDeterminism: repeated runs through the parallel ranker
-// are identical — the reduction is ordered, never first-done-wins.
-func TestParallelRankerDeterminism(t *testing.T) {
-	old, oldWorkers := parallelRankThreshold, rankWorkers
-	parallelRankThreshold, rankWorkers = 2, 4
-	defer func() { parallelRankThreshold, rankWorkers = old, oldWorkers }()
-
+// TestLazyPQDeterminism: repeated runs through the lazy priority queue are
+// identical — heap ties are broken by the deterministic ordinal, and the
+// cache warm-up order cannot change any selection.
+func TestLazyPQDeterminism(t *testing.T) {
 	d := randomDataset(99, 7, 150)
 	base, err := NewHeu().RunDetailed(d)
 	if err != nil {
@@ -192,4 +213,13 @@ func TestParallelRankerDeterminism(t *testing.T) {
 		}
 		requireRunsIdentical(t, fmt.Sprintf("repeat %d", i), again, base)
 	}
+	// A cold-cache run and a budget-degraded run must also agree with the
+	// warm default: the cache is an accelerator, never an input.
+	withBudgets(t, 0, 0, func() {
+		cold, err := NewHeu().RunDetailed(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireRunsIdentical(t, "uncached", cold, base)
+	})
 }

@@ -364,7 +364,7 @@ func (eng *engine) stepBalanced() []int {
 		case e.Strategy == SelectScale:
 			g = eng.extreme(side, false)
 		default:
-			g = eng.rankSide(side, nil, eng.state, eng.trust, eng.baseH, e.sign())
+			g = eng.rankLazy(side, nil, eng.state, eng.trust, eng.baseH, e.sign(), false)
 		}
 		return eng.evaluate(g, g.size())
 	}
@@ -378,7 +378,7 @@ func (eng *engine) stepBalanced() []int {
 	} else {
 		pos = e.capCandidates(pos)
 		neg = e.capCandidates(neg)
-		fgNeg = eng.rankSide(neg, nil, eng.state, eng.trust, eng.baseH, e.sign())
+		fgNeg = eng.rankLazy(neg, nil, eng.state, eng.trust, eng.baseH, e.sign(), false)
 		fgPos = eng.rankPositive(pos, fgNeg)
 	}
 	probNeg := eng.probs[fgNeg.ord]
@@ -405,7 +405,9 @@ func (eng *engine) stepBalanced() []int {
 		eng.result.FactProb[f] = probPos
 	}
 	eng.state.absorb(fgNeg.votes, outcome(probNeg, e.SoftAbsorb), n)
+	eng.noteAbsorb(fgNeg)
 	eng.state.absorb(fgPos.votes, outcome(probPos, e.SoftAbsorb), n)
+	eng.noteAbsorb(fgPos)
 	out := make([]int, 0, len(factsNeg)+len(factsPos))
 	out = append(out, factsNeg...)
 	return append(out, factsPos...)

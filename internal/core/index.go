@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"corroborate/internal/score"
 	"corroborate/internal/truth"
 )
@@ -40,7 +38,7 @@ func buildSourceIndex(groups []*group, sources int) sourceIndex {
 	return idx
 }
 
-// rankScratch is the per-worker scratch space of the parallel ∆H ranker.
+// rankScratch is the scratch space of the ∆H scorer.
 type rankScratch struct {
 	trust []float64 // projected trust vector (len == sources)
 	lists [][]int32 // posting-list heads for the neighbor merge
@@ -72,11 +70,9 @@ type engine struct {
 
 	trust []float64 // cached σi(S)
 	probs []float64 // cached Corrob per ordinal, synced to trust
-	baseH []float64 // H(probs[ord]) under the round's trust
-	posH  []float64 // baseline overlay for the positive-side ranking
+	baseH []float64 // H(probs[ord]) under the round's trust (pos-side overlay patched in place)
 
 	afterTrust []float64 // reused buffer for the post-negative trust vector
-	scores     []float64 // reused per-candidate score buffer
 
 	// nbrCache[ord] is the ascending, deduplicated list of ordinals of the
 	// groups sharing at least one source with groups[ord] — the only groups
@@ -92,38 +88,114 @@ type engine struct {
 	dirtyMark []bool
 	dirtyOrds []int32
 
+	// hStale[ord] marks a cached probability whose entropy baseline has
+	// not been refreshed yet; syncBaseline only recomputes H for marked
+	// ordinals instead of scanning every live group each round.
+	hStale []bool
+
+	// Lazy-greedy ∆H pair cache (see lazypq.go). colGen[ord] is bumped
+	// every time an absorbed group shares a source with ord — the only
+	// events that can move any cached after-entropy term involving ord as
+	// the Eq. 9 column. pairRows holds the per-candidate cached terms,
+	// stamped with the colGen they were computed under; pairBudget bounds
+	// the cache's total entries. overlayMark/overlayEpoch tag the columns
+	// whose positive-side baseline diverges from the round baseline (the
+	// neighbors of the selected negative group), which must never be
+	// served from — or stored into — the round-base cache.
+	colGen       []uint32
+	pairRows     []*pairRow
+	pairBudget   int
+	overlayMark  []uint32
+	overlayEpoch uint32
+
+	// rowKeyCache/rowKeyExact memoize each candidate's last heap key — its
+	// exact signed score, or a sound stale bound. Either stays valid until a
+	// column in the row's neighbor list advances its generation; noteAbsorb
+	// pushes that event to the affected rows through rowStale (rows sharing
+	// a source with a bumped column == the column's own neighbor list), so
+	// serving a key is O(1) and the per-round ranking cost is proportional
+	// to the rows the last absorbs actually touched, not the candidate
+	// count. scoreCacheOK drops for the rest of the run if a bumped column
+	// has no cached neighbor list (the affected rows cannot be enumerated);
+	// keys then fall back to the per-term scan. rowOverlayMark tags the rows
+	// whose key the positive-side overlay can shift; posServeOK guards the
+	// epochs where an overlay column's rows cannot be enumerated.
+	rowKeyCache    []float64
+	rowKeyExact    []bool
+	rowStale       []bool
+	scoreCacheOK   bool
+	rowOverlayMark []uint32
+	posServeOK     bool
+
+	// srcDirty accumulates the sources whose credit/count moved since the
+	// last syncTrust (fed by noteAbsorb); the sync recomputes trust only for
+	// those. allSrcDirty forces the full scan (anchor refreshes move every
+	// source).
+	srcDirtyMark []bool
+	srcDirty     []int32
+	allSrcDirty  bool
+
+	// sizeF mirrors each group's remaining size as a float64, refreshed by
+	// noteAbsorb after every real absorption — the ranking scans read it
+	// instead of dereferencing the group structs. savedTrust holds the few
+	// base-trust entries a refresh temporarily overwrites for its in-place
+	// projection; posSavedCredit/posSavedCount and posSavedOrds/posSavedH
+	// hold what the positive-side ranking patches into the real state and
+	// the round baseline, restored bitwise after the ranking.
+	sizeF          []float64
+	savedTrust     []float64
+	posSavedCredit []float64
+	posSavedCount  []int
+	posSavedOrds   []int32
+	posSavedH      []float64
+
 	anchorCredit []float64 // reused accumulators for refreshAnchors
 	anchorCount  []float64
 
-	seq  rankScratch // scratch for sequential ranking
-	pool sync.Pool   // *rankScratch for parallel workers
+	seq     rankScratch   // scratch for sequential scoring
+	heapBuf candidateHeap // reused backing array for the lazy ranking heap
 }
 
 func newEngine(cfg *IncEstimate, d *truth.Dataset, state *trustState, groups []*group, result *truth.Result) *engine {
 	sources := d.NumSources()
 	eng := &engine{
-		cfg:       cfg,
-		state:     state,
-		result:    result,
-		groups:    groups,
-		live:      append(make([]*group, 0, len(groups)), groups...),
-		idx:       buildSourceIndex(groups, sources),
-		trust:     make([]float64, sources),
-		probs:     make([]float64, len(groups)),
-		baseH:     make([]float64, len(groups)),
-		posH:      make([]float64, len(groups)),
-		dirtyMark: make([]bool, len(groups)),
-		nbrCache:  make([][]int32, len(groups)),
-		nbrBudget: 4 << 20,
+		cfg:         cfg,
+		state:       state,
+		result:      result,
+		groups:      groups,
+		live:        append(make([]*group, 0, len(groups)), groups...),
+		idx:         buildSourceIndex(groups, sources),
+		trust:       make([]float64, sources),
+		probs:       make([]float64, len(groups)),
+		baseH:       make([]float64, len(groups)),
+		dirtyMark:   make([]bool, len(groups)),
+		hStale:      make([]bool, len(groups)),
+		nbrCache:    make([][]int32, len(groups)),
+		nbrBudget:   defaultNbrBudget,
+		colGen:      make([]uint32, len(groups)),
+		pairRows:    make([]*pairRow, len(groups)),
+		pairBudget:  defaultPairBudget,
+		overlayMark: make([]uint32, len(groups)),
+
+		rowKeyCache:    make([]float64, len(groups)),
+		rowKeyExact:    make([]bool, len(groups)),
+		rowStale:       make([]bool, len(groups)),
+		scoreCacheOK:   true,
+		rowOverlayMark: make([]uint32, len(groups)),
+		srcDirtyMark:   make([]bool, sources),
+		sizeF:          make([]float64, len(groups)),
 	}
 	eng.state.vectorInto(eng.trust)
 	for _, g := range groups {
 		eng.probs[g.ord] = g.prob(eng.trust)
+		eng.hStale[g.ord] = true
+		eng.rowStale[g.ord] = true
+		eng.sizeF[g.ord] = float64(g.size())
+		// Generation 0 in a pair-row stamp means "never computed", so the
+		// live generations start at 1.
+		eng.colGen[g.ord] = 1
 	}
 	eng.seq = rankScratch{trust: make([]float64, sources)}
-	eng.pool.New = func() any {
-		return &rankScratch{trust: make([]float64, sources)}
-	}
 	if cfg.AnchoredTrust {
 		eng.anchorCredit = make([]float64, sources)
 		eng.anchorCount = make([]float64, sources)
@@ -198,30 +270,85 @@ func (eng *engine) neighbors(g *group, scratch *rankScratch) []int32 {
 
 // syncTrust refreshes the cached trust vector from the state and recomputes
 // the cached probability of every group containing a source whose trust
-// moved. Idempotent and cheap when nothing changed: one O(sources) scan.
+// moved. The scan is sparse: only sources whose credit/count changed since
+// the last sync (marked by noteAbsorb) are re-derived; every other source's
+// trust is a pure function of unchanged inputs and is bitwise current.
 func (eng *engine) syncTrust() {
-	for s, old := range eng.trust {
-		nt := eng.state.trust(s)
-		//lint:ignore floatexact change detection on a cached copy of the same computation; an epsilon would skip real sub-epsilon trust moves and break bit-identity with the reference
-		if nt == old {
-			continue
+	if eng.allSrcDirty {
+		eng.allSrcDirty = false
+		for _, s := range eng.srcDirty {
+			eng.srcDirtyMark[s] = false
 		}
-		eng.trust[s] = nt
-		for _, ord := range eng.idx[s] {
-			if !eng.dirtyMark[ord] {
-				eng.dirtyMark[ord] = true
-				eng.dirtyOrds = append(eng.dirtyOrds, ord)
-			}
+		eng.srcDirty = eng.srcDirty[:0]
+		for s, old := range eng.trust {
+			eng.syncSource(s, old)
 		}
+	} else {
+		for _, s := range eng.srcDirty {
+			eng.srcDirtyMark[s] = false
+			eng.syncSource(int(s), eng.trust[s])
+		}
+		eng.srcDirty = eng.srcDirty[:0]
 	}
 	for _, ord := range eng.dirtyOrds {
 		eng.dirtyMark[ord] = false
 		g := eng.groups[ord]
 		if g.size() > 0 {
 			eng.probs[ord] = g.prob(eng.trust)
+			eng.hStale[ord] = true
 		}
 	}
 	eng.dirtyOrds = eng.dirtyOrds[:0]
+}
+
+// syncSource folds one source's current trust into the cached vector,
+// flagging the groups on its posting list when it moved.
+func (eng *engine) syncSource(s int, old float64) {
+	nt := eng.state.trust(s)
+	//lint:ignore floatexact change detection on a cached copy of the same computation; an epsilon would skip real sub-epsilon trust moves and break bit-identity with the reference
+	if nt == old {
+		return
+	}
+	eng.trust[s] = nt
+	for _, ord := range eng.idx[s] {
+		if !eng.dirtyMark[ord] {
+			eng.dirtyMark[ord] = true
+			eng.dirtyOrds = append(eng.dirtyOrds, ord)
+		}
+	}
+}
+
+// noteAbsorb records that g's outcome was absorbed into the real trust
+// state: every group sharing a source with g — including g itself — may now
+// have a different probability, entropy baseline, or projected-trust
+// contribution, so their column generations advance and any pair-cache term
+// stamped with an older generation becomes refutable-stale (see lazypq.go
+// for the staleness invariant). The bump is pushed one hop further to the
+// cached heap keys: every row whose neighbor list contains a bumped column
+// (== the column's own neighbor list, co-listing is symmetric) is marked
+// stale; if that list is not cached the affected rows cannot be enumerated
+// and key caching is disabled for the rest of the run. g's own sources are
+// queued for the next sparse trust sync. Hypothetical absorptions into
+// cloned states (the positive-side ranking) are never noted.
+func (eng *engine) noteAbsorb(g *group) {
+	eng.sizeF[g.ord] = float64(g.size())
+	for _, sv := range g.votes {
+		if !eng.srcDirtyMark[sv.Source] {
+			eng.srcDirtyMark[sv.Source] = true
+			eng.srcDirty = append(eng.srcDirty, int32(sv.Source))
+		}
+	}
+	for _, ord := range eng.neighbors(g, &eng.seq) {
+		eng.colGen[ord]++
+		rows := eng.nbrCache[ord]
+		if rows == nil {
+			eng.scoreCacheOK = false
+			continue
+		}
+		for _, r := range rows {
+			eng.rowStale[r] = true
+		}
+	}
 }
 
 // compact drops exhausted groups from the live set, preserving order.
@@ -238,6 +365,7 @@ func (eng *engine) evaluate(g *group, n int) []int {
 		eng.result.FactProb[f] = p
 	}
 	eng.state.absorb(g.votes, outcome(p, eng.cfg.SoftAbsorb), len(facts))
+	eng.noteAbsorb(g)
 	return facts
 }
 
@@ -257,6 +385,7 @@ func (eng *engine) evaluateBatch(side []*group) []int {
 			eng.result.FactProb[f] = p
 		}
 		eng.state.absorb(g.votes, outcome(p, eng.cfg.SoftAbsorb), len(facts))
+		eng.noteAbsorb(g)
 		all = append(all, facts...)
 	}
 	return all
@@ -302,4 +431,14 @@ func (eng *engine) refreshAnchors() {
 	for s := range credit {
 		eng.state.setAnchors(s, credit[s], count[s])
 	}
+	// Anchors feed both the trust vector and projectInto for every source,
+	// so no cached pair term, heap key, or trust entry survives an anchor
+	// refresh: advance every column generation, stale every row, and force
+	// the next trust sync to rescan all sources. Anchored runs keep the
+	// lazy ranking correct but forgo its caching benefit.
+	for i := range eng.colGen {
+		eng.colGen[i]++
+		eng.rowStale[i] = true
+	}
+	eng.allSrcDirty = true
 }

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"corroborate/internal/truth"
 )
 
 // streamShardThreshold is the group count below which a sharded stream
@@ -41,7 +43,7 @@ func NewShardedStream(shards int) *ShardedStream {
 	}
 	ss := &ShardedStream{shards: shards}
 	ss.Config = *NewScale()
-	ss.sources = make(map[string]int)
+	ss.symtab = truth.NewInterner()
 	return ss
 }
 

@@ -48,9 +48,14 @@ type Stream struct {
 	// profile, which suits open-ended streams.
 	Config IncEstimate
 
+	// symtab is the stream's source symbol table (truth.Interner): names
+	// live here once, and every other structure — trust accumulators, vote
+	// columns, checkpoints — moves dense uint32 IDs. Interning order defines
+	// vote signatures, so the table is append-only except for the
+	// atomic-batch rollback, which truncates the IDs a rejected batch
+	// created before anything else saw them.
 	mu       sync.Mutex
-	sources  map[string]int
-	names    []string
+	symtab   *truth.Interner
 	state    *trustState
 	initDone bool
 
@@ -110,7 +115,7 @@ type BatchVote struct {
 
 // NewStream returns an empty stream using the scale profile.
 func NewStream() *Stream {
-	return &Stream{Config: *NewScale(), sources: make(map[string]int)}
+	return &Stream{Config: *NewScale(), symtab: truth.NewInterner()}
 }
 
 // Trust returns the current trust of every source seen so far, keyed by
@@ -118,9 +123,9 @@ func NewStream() *Stream {
 func (st *Stream) Trust() map[string]float64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	out := make(map[string]float64, len(st.names))
-	for i, n := range st.names {
-		out[n] = st.state.trust(i)
+	out := make(map[string]float64, st.symtab.Len())
+	for i := 0; i < st.symtab.Len(); i++ {
+		out[st.symtab.Name(uint32(i))] = st.state.trust(i)
 	}
 	return out
 }
@@ -218,22 +223,23 @@ func (st *Stream) addBatchLocked(ctx context.Context, votes []BatchVote, shards 
 		return nil, err
 	}
 	// Snapshot for rollback: everything the pipeline mutates before the
-	// point of no return is the source table and the trust-state arrays.
-	preSources, preInit := len(st.names), st.initDone
+	// point of no return is the symbol table and the trust-state arrays.
+	preSources, preInit := st.symtab.Len(), st.initDone
 
-	// Build a dataset for the batch with globally interned sources.
+	// Build a dataset for the batch with globally interned sources. The
+	// batch builder registers names in symbol-table ID order, so the
+	// builder's source indices coincide with the global uint32 IDs.
 	b := truth.NewBuilder()
-	for _, n := range st.names {
-		b.Source(n)
+	for i := 0; i < preSources; i++ {
+		b.Source(st.symtab.Name(uint32(i)))
 	}
 	for _, v := range votes {
-		idx, ok := st.sources[v.Source]
-		if !ok {
-			idx = b.Source(v.Source)
-			st.sources[v.Source] = idx
-			st.names = append(st.names, v.Source)
+		known := st.symtab.Len()
+		id := st.symtab.Intern(v.Source)
+		if int(id) == known { // first sight: register with the batch builder too
+			b.Source(v.Source)
 		}
-		b.Vote(b.Fact(v.Fact), idx, v.Vote)
+		b.Vote(b.Fact(v.Fact), int(id), v.Vote)
 	}
 	d := b.Build()
 
@@ -246,7 +252,7 @@ func (st *Stream) addBatchLocked(ctx context.Context, votes []BatchVote, shards 
 		st.initDone = true
 	}
 	// Grow the trust state for newly seen sources.
-	for len(st.state.credit) < len(st.names) {
+	for len(st.state.credit) < st.symtab.Len() {
 		st.state.credit = append(st.state.credit, 0)
 		st.state.count = append(st.state.count, 0)
 	}
@@ -347,14 +353,11 @@ func (st *Stream) decideGroupGuarded(g *group, trust []float64) (raw, final floa
 }
 
 // rollbackBatch undoes the interning side effects of a failed batch,
-// restoring the source table and trust-state arrays to their pre-batch
+// restoring the symbol table and trust-state arrays to their pre-batch
 // shape. No trust values moved (absorption never ran), so truncation is a
 // complete undo.
 func (st *Stream) rollbackBatch(preSources int, preInit bool) {
-	for _, n := range st.names[preSources:] {
-		delete(st.sources, n)
-	}
-	st.names = st.names[:preSources]
+	st.symtab.Truncate(preSources)
 	if !preInit {
 		st.state = nil
 		st.initDone = false

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HeapDet reports container/heap Less methods that order by a
+// floating-point key without a deterministic ordinal tie-break. The lazy
+// ∆H priority queue pops "the" best candidate, and the byte-identity
+// contract demands that choice be a pure function of the candidate set:
+// when two heap entries compare equal under a float-only Less, their pop
+// order falls out of the heap's internal element layout — stable for one
+// binary, but silently reshuffled by any refactor that changes push order,
+// sift details, or the initial slice. Breaking such a tie on an int or
+// string ordinal (a group ordinal, an interned ID, a signature) pins the
+// order to the data instead of the history.
+//
+// A type is considered a heap when it declares the full
+// container/heap.Interface method set (Len, Less, Swap, Push, Pop — the
+// Push/Pop pair is what separates it from a plain sort.Interface). Its
+// Less is reported when it contains at least one float ordering
+// comparison and no int/string ordering comparison. A Less that only
+// delegates (no comparisons in the body) is not judged.
+var HeapDet = &Analyzer{
+	Name: "heapdet",
+	Doc:  "container/heap Less ordering by float key without an int/string ordinal tie-break",
+	Run:  runHeapDet,
+}
+
+// heapMethodSet is the method set that marks a receiver type as a heap.
+var heapMethodSet = []string{"Len", "Less", "Swap", "Push", "Pop"}
+
+func runHeapDet(pass *Pass) {
+	// First pass: group method declarations by receiver type name.
+	methods := make(map[string]map[string]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			recv := recvTypeName(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			if methods[recv] == nil {
+				methods[recv] = make(map[string]*ast.FuncDecl)
+			}
+			methods[recv][fd.Name.Name] = fd
+		}
+	}
+	for recv, set := range methods {
+		if !hasAll(set, heapMethodSet) {
+			continue
+		}
+		checkHeapLess(pass, recv, set["Less"])
+	}
+}
+
+func hasAll(set map[string]*ast.FuncDecl, names []string) bool {
+	for _, n := range names {
+		if set[n] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHeapLess inspects one heap type's Less body for ordering
+// comparisons and classifies their operand types.
+func checkHeapLess(pass *Pass, recv string, less *ast.FuncDecl) {
+	var floatOrder, ordinalOrder bool
+	ast.Inspect(less.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isOrderingOp(be.Op.String()) {
+			return true
+		}
+		t := pass.TypeOf(be.X)
+		switch {
+		case isFloat(t):
+			floatOrder = true
+		case isOrdinal(t):
+			ordinalOrder = true
+		}
+		return true
+	})
+	if floatOrder && !ordinalOrder {
+		pass.Reportf(less.Pos(), "heap %s orders by a floating-point key with no int/string tie-break; equal keys pop in heap-layout order, which any refactor can reshuffle — break ties on a deterministic ordinal last", recv)
+	}
+}
+
+func isOrderingOp(op string) bool {
+	switch op {
+	case "<", ">", "<=", ">=":
+		return true
+	}
+	return false
+}
+
+// isOrdinal reports whether t can serve as a deterministic tie-break key:
+// an integer (of any width or signedness) or a string.
+func isOrdinal(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsString) != 0
+}
+
+// recvTypeName unwraps a method receiver type expression to its base type
+// name ("" for anonymous or exotic receivers).
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr: // generic receiver: T[E]
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -124,6 +124,7 @@ func Analyzers() []*Analyzer {
 		FloatExact,
 		LogGuard,
 		MapDet,
+		HeapDet,
 		GlobalRand,
 		GoNoSync,
 		CloseCheck,

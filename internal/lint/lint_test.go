@@ -24,6 +24,7 @@ func TestAnalyzerGolden(t *testing.T) {
 		{dir: "floatexact", analyzers: "floatexact"},
 		{dir: "logguard", analyzers: "logguard"},
 		{dir: "mapdet", analyzers: "mapdet"},
+		{dir: "heapdet", analyzers: "heapdet"},
 		{dir: "globalrand", analyzers: "globalrand"},
 		{dir: "gonosync", analyzers: "gonosync"},
 		{dir: "closecheck", analyzers: "closecheck"},

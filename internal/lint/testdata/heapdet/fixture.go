@@ -1,0 +1,93 @@
+// Package fixture exercises the heapdet analyzer: a container/heap Less
+// ordering by a floating-point key must break ties on a deterministic
+// int/string ordinal.
+package fixture
+
+import "container/heap"
+
+type item struct {
+	score float64
+	ord   int
+	name  string
+}
+
+// floatOnlyHeap compares only the float score: reported.
+type floatOnlyHeap []item
+
+func (h floatOnlyHeap) Len() int           { return len(h) }
+func (h floatOnlyHeap) Less(i, j int) bool { return h[i].score > h[j].score }
+func (h floatOnlyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *floatOnlyHeap) Push(x any)        { *h = append(*h, x.(item)) }
+func (h *floatOnlyHeap) Pop() any          { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
+
+// ordinalHeap breaks float ties on an int ordinal: clean.
+type ordinalHeap []item
+
+func (h ordinalHeap) Len() int { return len(h) }
+func (h ordinalHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].ord < h[j].ord
+}
+func (h ordinalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *ordinalHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *ordinalHeap) Pop() any     { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
+
+// namedHeap breaks float ties on a string key: clean.
+type namedHeap []item
+
+func (h namedHeap) Len() int { return len(h) }
+func (h namedHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].name < h[j].name
+}
+func (h namedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *namedHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *namedHeap) Pop() any     { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
+
+// intHeap orders by int only — no float key, nothing to report: clean.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any          { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
+
+// floatSorter has a float-only Less but no Push/Pop — a sort.Interface,
+// not a heap; ties only make the sort unstable, they do not leak heap
+// layout: clean.
+type floatSorter []item
+
+func (s floatSorter) Len() int           { return len(s) }
+func (s floatSorter) Less(i, j int) bool { return s[i].score < s[j].score }
+func (s floatSorter) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// delegatingHeap's Less holds no comparison at all — not judged: clean.
+type delegatingHeap []item
+
+func (h delegatingHeap) Len() int           { return len(h) }
+func (h delegatingHeap) Less(i, j int) bool { return before(h[i], h[j]) }
+func (h delegatingHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *delegatingHeap) Push(x any)        { *h = append(*h, x.(item)) }
+func (h *delegatingHeap) Pop() any          { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
+
+func before(a, b item) bool { return a.ord < b.ord }
+
+// use keeps container/heap imported and every type alive.
+func use() {
+	f := floatOnlyHeap{{score: 1}}
+	heap.Init(&f)
+	o := ordinalHeap{{score: 1}}
+	heap.Init(&o)
+	m := namedHeap{{score: 1}}
+	heap.Init(&m)
+	n := intHeap{3, 1}
+	heap.Init(&n)
+	d := delegatingHeap{{ord: 1}}
+	heap.Init(&d)
+	_ = floatSorter{}
+}

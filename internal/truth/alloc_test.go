@@ -1,0 +1,100 @@
+package truth
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestVoteIngestionAllocFree pins the zero-alloc ingestion contract: once
+// Grow has reserved log capacity, Vote must not allocate. BenchmarkBuild sat
+// at 15,948 allocs/op for five PRs because the old builder kept a map per
+// fact; this ceiling stops that from coming back.
+func TestVoteIngestionAllocFree(t *testing.T) {
+	const runs, votesPerRun = 100, 64
+	b := NewBuilder()
+	for s := 0; s < 8; s++ {
+		b.Source(fmt.Sprintf("s%d", s))
+	}
+	for f := 0; f < 32; f++ {
+		b.Fact(fmt.Sprintf("f%d", f))
+	}
+	// AllocsPerRun executes the body runs+1 times (one warm-up).
+	b.Grow((runs + 1) * votesPerRun)
+	avg := testing.AllocsPerRun(runs, func() {
+		for i := 0; i < votesPerRun; i++ {
+			v := Affirm
+			if i%5 == 0 {
+				v = Deny
+			}
+			b.Vote(i%b.NumFacts(), i%b.NumSources(), v)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("pre-grown Vote ingestion allocates %.1f times per %d votes, want 0", avg, votesPerRun)
+	}
+}
+
+// TestAppendSignatureAllocFree pins that AppendSignature into a buffer with
+// sufficient capacity performs zero allocations — group building reuses one
+// buffer across a whole dataset and must stay O(1) in allocations per fact.
+func TestAppendSignatureAllocFree(t *testing.T) {
+	b := NewBuilder()
+	for s := 0; s < 12; s++ {
+		b.Source(fmt.Sprintf("s%d", s))
+	}
+	for f := 0; f < 50; f++ {
+		fi := b.Fact(fmt.Sprintf("f%d", f))
+		for s := 0; s < 12; s++ {
+			if (f+s)%2 == 0 {
+				v := Affirm
+				if (f*s)%7 == 0 {
+					v = Deny
+				}
+				b.Vote(fi, s, v)
+			}
+		}
+	}
+	d := b.Build()
+	buf := make([]byte, 0, 1024)
+	avg := testing.AllocsPerRun(100, func() {
+		for f := 0; f < d.NumFacts(); f++ {
+			buf = d.AppendSignature(buf[:0], f)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("AppendSignature with adequate buffer allocates %.1f times per sweep, want 0", avg)
+	}
+}
+
+// TestBuildAllocCeiling bounds Build's total allocations on a mid-size
+// world. The columnar Build is a fixed number of slabs plus the interner
+// clones — it must scale with the symbol-table size, never per-vote.
+func TestBuildAllocCeiling(t *testing.T) {
+	b := NewBuilder()
+	for s := 0; s < 10; s++ {
+		b.Source(fmt.Sprintf("s%d", s))
+	}
+	for f := 0; f < 2000; f++ {
+		b.Fact(fmt.Sprintf("f%d", f))
+	}
+	b.Grow(2000 * 4)
+	for f := 0; f < 2000; f++ {
+		for s := 0; s < 10; s++ {
+			if (f+s)%3 == 0 {
+				b.Vote(f, s, Affirm)
+			}
+		}
+	}
+	// ~6,700 votes; the old map-based Build allocated one map + one sorted
+	// slice per fact (>4,000 allocs for this shape). The columnar Build
+	// allocates the permutation, the columns, the two arenas, and the two
+	// interner clones (names slice + map buckets). 300 leaves headroom for
+	// map-bucket growth while still catching any per-vote or per-fact
+	// regression.
+	avg := testing.AllocsPerRun(5, func() {
+		_ = b.Build()
+	})
+	if avg > 300 {
+		t.Fatalf("Build allocates %.0f times for a 2000-fact world, ceiling 300", avg)
+	}
+}

@@ -1,0 +1,88 @@
+package truth
+
+import "fmt"
+
+// Interner is an append-only symbol table mapping names to dense uint32
+// IDs. It is the single naming authority of the columnar storage layer:
+// datasets, builders, and the streaming layer all hold names once, here,
+// and move uint32 IDs everywhere else (posting lists, vote columns,
+// checkpoint tables). IDs are assigned in first-intern order and never
+// change, which is what makes vote signatures — and therefore fact-group
+// ordinals and every downstream floating-point accumulation order — stable
+// across re-interning the same names in the same order.
+//
+// Names are arbitrary byte strings: empty names and non-UTF-8 names intern
+// like any other (FuzzIntern exercises both). The zero value is ready to
+// use.
+//
+// Truncate is the one concession to the append-only contract: the stream's
+// atomic-batch rollback discards the IDs a rejected batch interned, which
+// is sound only because nothing else has seen them yet (the batch that
+// created them is being thrown away whole).
+type Interner struct {
+	names []string
+	idx   map[string]uint32
+}
+
+// NewInterner returns an empty symbol table.
+func NewInterner() *Interner { return &Interner{} }
+
+// Intern returns the ID of name, assigning the next dense ID on first
+// sight.
+func (t *Interner) Intern(name string) uint32 {
+	if id, ok := t.idx[name]; ok {
+		return id
+	}
+	if t.idx == nil {
+		t.idx = make(map[string]uint32)
+	}
+	id := uint32(len(t.names))
+	t.names = append(t.names, name)
+	t.idx[name] = id
+	return id
+}
+
+// Lookup resolves a name without interning it.
+func (t *Interner) Lookup(name string) (uint32, bool) {
+	id, ok := t.idx[name]
+	return id, ok
+}
+
+// Name resolves an ID back to its name. IDs come from Intern, so an
+// out-of-range ID is a programming error and panics like a slice index.
+func (t *Interner) Name(id uint32) string { return t.names[id] }
+
+// Len returns the number of interned names.
+func (t *Interner) Len() int { return len(t.names) }
+
+// Names returns a copy of all names in ID order.
+func (t *Interner) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Clone returns an independent copy of the table.
+func (t *Interner) Clone() *Interner {
+	c := &Interner{names: append([]string(nil), t.names...)}
+	if len(c.names) > 0 {
+		c.idx = make(map[string]uint32, len(c.names))
+		for i, n := range c.names {
+			c.idx[n] = uint32(i)
+		}
+	}
+	return c
+}
+
+// Truncate discards every ID at or above n, restoring the table to a
+// previous Len. It exists for atomic-batch rollback (see the type comment);
+// growing the table through Truncate is an error.
+func (t *Interner) Truncate(n int) {
+	if n < 0 || n > len(t.names) {
+		panic(fmt.Sprintf("truth: truncating interner of %d names to %d", len(t.names), n))
+	}
+	for _, name := range t.names[n:] {
+		delete(t.idx, name)
+	}
+	t.names = t.names[:n]
+}

@@ -1,0 +1,116 @@
+package truth
+
+import "testing"
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	names := []string{"a", "", "b", "a", "\xff\xfe", "b", "weird name", ""}
+	wantIDs := []uint32{0, 1, 2, 0, 3, 2, 4, 1}
+	for i, n := range names {
+		if got := in.Intern(n); got != wantIDs[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", n, got, wantIDs[i])
+		}
+	}
+	if in.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", in.Len())
+	}
+	for _, n := range names {
+		id, ok := in.Lookup(n)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", n)
+		}
+		if in.Name(id) != n {
+			t.Fatalf("Name(%d) = %q, want %q", id, in.Name(id), n)
+		}
+	}
+	if _, ok := in.Lookup("absent"); ok {
+		t.Fatal("Lookup of never-interned name succeeded")
+	}
+}
+
+func TestInternerCloneIndependent(t *testing.T) {
+	in := NewInterner()
+	in.Intern("x")
+	in.Intern("y")
+	c := in.Clone()
+	in.Intern("z")
+	if c.Len() != 2 {
+		t.Fatalf("clone Len = %d after original grew, want 2", c.Len())
+	}
+	c.Intern("w")
+	if _, ok := in.Lookup("w"); ok {
+		t.Fatal("interning into clone leaked into original")
+	}
+	if id, ok := c.Lookup("x"); !ok || id != 0 {
+		t.Fatalf("clone Lookup(x) = %d,%v, want 0,true", id, ok)
+	}
+}
+
+func TestInternerTruncate(t *testing.T) {
+	in := NewInterner()
+	in.Intern("keep")
+	in.Intern("drop1")
+	in.Intern("drop2")
+	in.Truncate(1)
+	if in.Len() != 1 {
+		t.Fatalf("Len = %d after Truncate(1), want 1", in.Len())
+	}
+	if _, ok := in.Lookup("drop1"); ok {
+		t.Fatal("truncated name still resolves")
+	}
+	// Re-interning a truncated name must assign a fresh dense ID.
+	if got := in.Intern("drop2"); got != 1 {
+		t.Fatalf("re-intern after truncate = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Truncate beyond Len did not panic")
+		}
+	}()
+	in.Truncate(5)
+}
+
+// FuzzIntern round-trips intern → resolve → re-intern over arbitrary byte
+// strings (duplicates, empty, and non-UTF-8 names included) and checks that
+// replaying Names() into a fresh table reproduces identical IDs — the
+// property that makes checkpoint restore byte-identical.
+func FuzzIntern(f *testing.F) {
+	f.Add("a", "b", "a")
+	f.Add("", "", "x")
+	f.Add("\xff\xfe\xfd", "a\x00b", "\xff\xfe\xfd")
+	f.Add("dup", "dup", "dup")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		in := NewInterner()
+		names := []string{a, b, c, a, b}
+		ids := make([]uint32, len(names))
+		for i, n := range names {
+			ids[i] = in.Intern(n)
+		}
+		for i, n := range names {
+			// Resolve and re-intern: both must reproduce the assigned ID.
+			if in.Name(ids[i]) != n {
+				t.Fatalf("Name(%d) = %q, want %q", ids[i], in.Name(ids[i]), n)
+			}
+			if again := in.Intern(n); again != ids[i] {
+				t.Fatalf("re-Intern(%q) = %d, want %d", n, again, ids[i])
+			}
+			if id, ok := in.Lookup(n); !ok || id != ids[i] {
+				t.Fatalf("Lookup(%q) = %d,%v, want %d,true", n, id, ok, ids[i])
+			}
+		}
+		if in.Len() > len(names) {
+			t.Fatalf("Len = %d exceeds %d interned names", in.Len(), len(names))
+		}
+		// Replaying the table in ID order onto a fresh interner must
+		// reproduce every ID (checkpoint restore depends on this).
+		fresh := NewInterner()
+		for i, n := range in.Names() {
+			if got := fresh.Intern(n); got != uint32(i) {
+				t.Fatalf("replaying name %d (%q) interned as %d", i, n, got)
+			}
+		}
+		if fresh.Len() != in.Len() {
+			t.Fatalf("replayed table Len = %d, want %d", fresh.Len(), in.Len())
+		}
+	})
+}

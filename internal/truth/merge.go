@@ -29,6 +29,9 @@ func Merge(policy MergePolicy, datasets ...*Dataset) (*Dataset, error) {
 	b := NewBuilder()
 	goldenNames := make(map[string]bool)
 	anyGolden := false
+	// The builder's vote log is append-only, so the current vote per
+	// (fact, source) pair is mirrored here for conflict detection.
+	current := make(map[uint64]Vote)
 	for di, d := range datasets {
 		for s := 0; s < d.NumSources(); s++ {
 			b.Source(d.SourceName(s))
@@ -38,17 +41,21 @@ func Merge(policy MergePolicy, datasets ...*Dataset) (*Dataset, error) {
 			nf := b.Fact(name)
 			for _, sv := range d.VotesOnFact(f) {
 				ns := b.Source(d.SourceName(sv.Source))
-				switch prev := b.vote(nf, ns); {
+				key := uint64(nf)<<32 | uint64(uint32(ns))
+				switch prev := current[key]; {
 				case prev == Absent || prev == sv.Vote:
 					b.Vote(nf, ns, sv.Vote)
+					current[key] = sv.Vote
 				case policy == MergeStrict:
 					return nil, fmt.Errorf("truth: merge conflict on fact %q source %q (%v vs %v) in dataset %d",
 						name, d.SourceName(sv.Source), prev, sv.Vote, di)
 				case policy == MergePreferLater:
 					b.Vote(nf, ns, sv.Vote)
+					current[key] = sv.Vote
 				case policy == MergePreferDeny:
 					if sv.Vote == Deny {
 						b.Vote(nf, ns, Deny)
+						current[key] = Deny
 					}
 				default:
 					return nil, fmt.Errorf("truth: unknown merge policy %d", int(policy))
@@ -70,20 +77,12 @@ func Merge(policy MergePolicy, datasets ...*Dataset) (*Dataset, error) {
 	}
 	if anyGolden {
 		var golden []int
-		for f, name := range b.factNames {
-			if goldenNames[name] {
+		for f := 0; f < b.NumFacts(); f++ {
+			if goldenNames[b.facts.Name(uint32(f))] {
 				golden = append(golden, f)
 			}
 		}
 		b.Golden(golden)
 	}
 	return b.Build(), nil
-}
-
-// vote reports the vote currently recorded in the builder for (f, s).
-func (b *Builder) vote(f, s int) Vote {
-	if b.votes[f] == nil {
-		return Absent
-	}
-	return b.votes[f][s]
 }

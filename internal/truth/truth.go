@@ -137,17 +137,33 @@ type FactVote struct {
 var ErrNoVotes = errors.New("truth: dataset contains no votes")
 
 // Dataset is an immutable-after-build sparse vote matrix: |S| sources by
-// |F| facts, with posting lists in both orientations so algorithms can
-// iterate whichever way is natural. Build one with a Builder.
+// |F| facts. Build one with a Builder.
+//
+// # Storage layout
+//
+// The canonical storage is flat and columnar: names live once in two
+// append-only symbol tables (Interner), and the votes are a fact-major CSR
+// matrix of parallel columns — factStarts[f] .. factStarts[f+1] delimits
+// fact f's slots in voteSources (interned uint32 source IDs) and voteValues
+// (the T/F votes). Labels are one more parallel column. Nothing in the
+// canonical form is a pointer, so a 10M-fact world is a handful of large
+// contiguous allocations instead of millions of small ones.
+//
+// Because every algorithm in the repository iterates posting lists as
+// []SourceVote / []FactVote, Build additionally materializes two derived
+// iteration views — factArena (fact orientation) and srcArena (source
+// orientation, with its own srcStarts) — each a single contiguous
+// allocation that VotesOnFact/VotesBySource slice into. The views are
+// plain re-encodings of the columns; Validate cross-checks them.
 type Dataset struct {
-	sourceNames []string
-	factNames   []string
+	sources Interner
+	facts   Interner
 
-	// factVotes[f] lists the sources that voted on fact f, ordered by
-	// source index; sourceVotes[s] lists the facts source s voted on,
-	// ordered by fact index.
-	factVotes   [][]SourceVote
-	sourceVotes [][]FactVote
+	// Canonical columnar storage (fact-major CSR). len(factStarts) is
+	// NumFacts()+1; voteSources and voteValues are parallel.
+	factStarts  []uint32
+	voteSources []uint32
+	voteValues  []Vote
 
 	// labels[f] is the ground truth of fact f, Unknown if unavailable.
 	labels []Label
@@ -156,65 +172,56 @@ type Dataset struct {
 	// indices (the paper's in-person-audited golden set).
 	golden []int
 
-	votes int
+	// Derived iteration views (see the type comment).
+	factArena []SourceVote
+	srcStarts []uint32
+	srcArena  []FactVote
 }
 
 // NumSources returns |S|.
-func (d *Dataset) NumSources() int { return len(d.sourceNames) }
+func (d *Dataset) NumSources() int { return d.sources.Len() }
 
 // NumFacts returns |F|.
-func (d *Dataset) NumFacts() int { return len(d.factNames) }
+func (d *Dataset) NumFacts() int { return d.facts.Len() }
 
 // NumVotes returns the total number of non-absent votes.
-func (d *Dataset) NumVotes() int { return d.votes }
+func (d *Dataset) NumVotes() int { return len(d.voteValues) }
 
 // SourceName returns the display name of source s.
-func (d *Dataset) SourceName(s int) string { return d.sourceNames[s] }
+func (d *Dataset) SourceName(s int) string { return d.sources.Name(uint32(s)) }
 
 // FactName returns the display name of fact f.
-func (d *Dataset) FactName(f int) string { return d.factNames[f] }
+func (d *Dataset) FactName(f int) string { return d.facts.Name(uint32(f)) }
 
 // SourceNames returns a copy of all source names in index order.
-func (d *Dataset) SourceNames() []string {
-	out := make([]string, len(d.sourceNames))
-	copy(out, d.sourceNames)
-	return out
-}
+func (d *Dataset) SourceNames() []string { return d.sources.Names() }
 
 // FactNames returns a copy of all fact names in index order.
-func (d *Dataset) FactNames() []string {
-	out := make([]string, len(d.factNames))
-	copy(out, d.factNames)
-	return out
-}
+func (d *Dataset) FactNames() []string { return d.facts.Names() }
 
 // SourceIndex returns the index of the source with the given name, or -1.
 func (d *Dataset) SourceIndex(name string) int {
-	for i, n := range d.sourceNames {
-		if n == name {
-			return i
-		}
+	if id, ok := d.sources.Lookup(name); ok {
+		return int(id)
 	}
 	return -1
 }
 
 // FactIndex returns the index of the fact with the given name, or -1.
 func (d *Dataset) FactIndex(name string) int {
-	for i, n := range d.factNames {
-		if n == name {
-			return i
-		}
+	if id, ok := d.facts.Lookup(name); ok {
+		return int(id)
 	}
 	return -1
 }
 
 // Vote returns source s's vote on fact f (Absent if none).
 func (d *Dataset) Vote(f, s int) Vote {
-	for _, sv := range d.factVotes[f] {
-		if sv.Source == s {
-			return sv.Vote
+	for i := d.factStarts[f]; i < d.factStarts[f+1]; i++ {
+		if d.voteSources[i] == uint32(s) {
+			return d.voteValues[i]
 		}
-		if sv.Source > s {
+		if d.voteSources[i] > uint32(s) {
 			break
 		}
 	}
@@ -223,11 +230,15 @@ func (d *Dataset) Vote(f, s int) Vote {
 
 // VotesOnFact returns fact f's posting list, ordered by source index.
 // The returned slice is shared; callers must not modify it.
-func (d *Dataset) VotesOnFact(f int) []SourceVote { return d.factVotes[f] }
+func (d *Dataset) VotesOnFact(f int) []SourceVote {
+	return d.factArena[d.factStarts[f]:d.factStarts[f+1]]
+}
 
 // VotesBySource returns source s's posting list, ordered by fact index.
 // The returned slice is shared; callers must not modify it.
-func (d *Dataset) VotesBySource(s int) []FactVote { return d.sourceVotes[s] }
+func (d *Dataset) VotesBySource(s int) []FactVote {
+	return d.srcArena[d.srcStarts[s]:d.srcStarts[s+1]]
+}
 
 // Label returns the ground truth of fact f (Unknown if unavailable).
 func (d *Dataset) Label(f int) Label { return d.labels[f] }
@@ -274,7 +285,7 @@ func (d *Dataset) HasGolden() bool { return d.golden != nil }
 // received identical votes from identical sources and therefore form one
 // fact group in the IncEstimate algorithm (§5.1).
 func (d *Dataset) Signature(f int) string {
-	if len(d.factVotes[f]) == 0 {
+	if d.factStarts[f] == d.factStarts[f+1] {
 		return ""
 	}
 	return string(d.AppendSignature(nil, f))
@@ -286,13 +297,14 @@ func (d *Dataset) Signature(f int) string {
 // whole dataset (signature construction dominates group building on large
 // crawls — see BenchmarkBuildGroups).
 func (d *Dataset) AppendSignature(buf []byte, f int) []byte {
-	for i, sv := range d.factVotes[f] {
-		if i > 0 {
+	start, end := d.factStarts[f], d.factStarts[f+1]
+	for i := start; i < end; i++ {
+		if i > start {
 			buf = append(buf, ' ')
 		}
-		buf = strconv.AppendInt(buf, int64(sv.Source), 10)
+		buf = strconv.AppendInt(buf, int64(d.voteSources[i]), 10)
 		buf = append(buf, ':')
-		switch sv.Vote {
+		switch v := d.voteValues[i]; v {
 		case Affirm:
 			buf = append(buf, 'T')
 		case Deny:
@@ -300,7 +312,7 @@ func (d *Dataset) AppendSignature(buf []byte, f int) []byte {
 		case Absent:
 			buf = append(buf, '-')
 		default:
-			buf = append(buf, sv.Vote.String()...)
+			buf = append(buf, v.String()...)
 		}
 	}
 	return buf
@@ -308,11 +320,12 @@ func (d *Dataset) AppendSignature(buf []byte, f int) []byte {
 
 // OnlyAffirmative reports whether fact f received T votes only (f ∈ F*).
 func (d *Dataset) OnlyAffirmative(f int) bool {
-	if len(d.factVotes[f]) == 0 {
+	start, end := d.factStarts[f], d.factStarts[f+1]
+	if start == end {
 		return false
 	}
-	for _, sv := range d.factVotes[f] {
-		if sv.Vote != Affirm {
+	for i := start; i < end; i++ {
+		if d.voteValues[i] != Affirm {
 			return false
 		}
 	}
@@ -324,8 +337,8 @@ func (d *Dataset) OnlyAffirmative(f int) bool {
 // AffirmativeShare close to 1.
 func (d *Dataset) AffirmativeShare() float64 {
 	voted, only := 0, 0
-	for f := range d.factVotes {
-		if len(d.factVotes[f]) == 0 {
+	for f := 0; f < d.NumFacts(); f++ {
+		if d.factStarts[f] == d.factStarts[f+1] {
 			continue
 		}
 		voted++
@@ -339,58 +352,85 @@ func (d *Dataset) AffirmativeShare() float64 {
 	return float64(only) / float64(voted)
 }
 
-// Validate checks internal consistency (ordering of posting lists, vote
-// symmetry between orientations, label validity). A Dataset produced by a
-// Builder always validates; the method exists for datasets read from files.
+// Validate checks internal consistency: the CSR columns (monotone starts,
+// strictly ordered in-range sources, T/F votes only, label validity), and
+// that both derived iteration views are exact re-encodings of the columns.
+// A Dataset produced by a Builder always validates; the method exists for
+// datasets read from files.
 func (d *Dataset) Validate() error {
-	if len(d.labels) != len(d.factNames) {
-		return fmt.Errorf("truth: %d labels for %d facts", len(d.labels), len(d.factNames))
+	numFacts, numSources := d.facts.Len(), d.sources.Len()
+	if len(d.labels) != numFacts {
+		return fmt.Errorf("truth: %d labels for %d facts", len(d.labels), numFacts)
 	}
-	if len(d.factVotes) != len(d.factNames) {
-		return fmt.Errorf("truth: %d fact posting lists for %d facts", len(d.factVotes), len(d.factNames))
+	if len(d.factStarts) != numFacts+1 {
+		return fmt.Errorf("truth: %d fact starts for %d facts", len(d.factStarts), numFacts)
 	}
-	if len(d.sourceVotes) != len(d.sourceNames) {
-		return fmt.Errorf("truth: %d source posting lists for %d sources", len(d.sourceVotes), len(d.sourceNames))
+	if len(d.voteSources) != len(d.voteValues) {
+		return fmt.Errorf("truth: %d vote sources for %d vote values", len(d.voteSources), len(d.voteValues))
 	}
-	n := 0
-	for f, list := range d.factVotes {
+	if numFacts > 0 && d.factStarts[0] != 0 {
+		return fmt.Errorf("truth: fact starts begin at %d, want 0", d.factStarts[0])
+	}
+	if len(d.factStarts) > 0 && int(d.factStarts[numFacts]) != len(d.voteValues) {
+		return fmt.Errorf("truth: fact starts end at %d for %d votes", d.factStarts[numFacts], len(d.voteValues))
+	}
+	for f := 0; f < numFacts; f++ {
+		if d.factStarts[f] > d.factStarts[f+1] {
+			return fmt.Errorf("truth: fact starts not monotone at fact %d", f)
+		}
 		prev := -1
-		for _, sv := range list {
-			if sv.Source <= prev {
+		for i := d.factStarts[f]; i < d.factStarts[f+1]; i++ {
+			s := int(d.voteSources[i])
+			if s <= prev {
 				return fmt.Errorf("truth: fact %d posting list not strictly ordered", f)
 			}
-			prev = sv.Source
-			if sv.Source < 0 || sv.Source >= len(d.sourceNames) {
-				return fmt.Errorf("truth: fact %d references source %d out of range", f, sv.Source)
+			prev = s
+			if s >= numSources {
+				return fmt.Errorf("truth: fact %d references source %d out of range", f, s)
 			}
-			if sv.Vote != Affirm && sv.Vote != Deny {
-				return fmt.Errorf("truth: fact %d stores non-vote %v", f, sv.Vote)
+			if v := d.voteValues[i]; v != Affirm && v != Deny {
+				return fmt.Errorf("truth: fact %d stores non-vote %v", f, v)
 			}
-			n++
 		}
 	}
-	if n != d.votes {
-		return fmt.Errorf("truth: vote count %d does not match posting lists (%d)", d.votes, n)
+	if len(d.factArena) != len(d.voteValues) {
+		return fmt.Errorf("truth: fact arena holds %d votes, want %d", len(d.factArena), len(d.voteValues))
 	}
-	m := 0
-	for s, list := range d.sourceVotes {
+	for i, sv := range d.factArena {
+		if uint32(sv.Source) != d.voteSources[i] || sv.Vote != d.voteValues[i] {
+			return fmt.Errorf("truth: fact arena slot %d diverges from columns", i)
+		}
+	}
+	if len(d.srcStarts) != numSources+1 {
+		return fmt.Errorf("truth: %d source starts for %d sources", len(d.srcStarts), numSources)
+	}
+	if len(d.srcArena) != len(d.voteValues) {
+		return fmt.Errorf("truth: source arena holds %d votes, want %d", len(d.srcArena), len(d.voteValues))
+	}
+	if numSources > 0 && d.srcStarts[0] != 0 {
+		return fmt.Errorf("truth: source starts begin at %d, want 0", d.srcStarts[0])
+	}
+	if len(d.srcStarts) > 0 && int(d.srcStarts[numSources]) != len(d.srcArena) {
+		return fmt.Errorf("truth: source starts end at %d for %d votes", d.srcStarts[numSources], len(d.srcArena))
+	}
+	for s := 0; s < numSources; s++ {
+		if d.srcStarts[s] > d.srcStarts[s+1] {
+			return fmt.Errorf("truth: source starts not monotone at source %d", s)
+		}
 		prev := -1
-		for _, fv := range list {
+		for i := d.srcStarts[s]; i < d.srcStarts[s+1]; i++ {
+			fv := d.srcArena[i]
 			if fv.Fact <= prev {
 				return fmt.Errorf("truth: source %d posting list not strictly ordered", s)
 			}
 			prev = fv.Fact
-			if fv.Fact < 0 || fv.Fact >= len(d.factNames) {
+			if fv.Fact < 0 || fv.Fact >= numFacts {
 				return fmt.Errorf("truth: source %d references fact %d out of range", s, fv.Fact)
 			}
 			if got := d.Vote(fv.Fact, s); got != fv.Vote {
 				return fmt.Errorf("truth: vote mismatch between orientations at fact %d source %d: %v vs %v", fv.Fact, s, fv.Vote, got)
 			}
-			m++
 		}
-	}
-	if m != d.votes {
-		return fmt.Errorf("truth: source-orientation vote count %d does not match %d", m, d.votes)
 	}
 	for f, l := range d.labels {
 		if !l.Valid() {
@@ -399,7 +439,7 @@ func (d *Dataset) Validate() error {
 	}
 	seen := make(map[int]bool, len(d.golden))
 	for _, f := range d.golden {
-		if f < 0 || f >= len(d.factNames) {
+		if f < 0 || f >= numFacts {
 			return fmt.Errorf("truth: golden index %d out of range", f)
 		}
 		if seen[f] {

@@ -5,13 +5,28 @@
 # the raw benchmark output captured at the pre-engine seed, so every future
 # run is compared against the same fixed starting point.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_1.json)
+# A BENCH_N.json output with N >= 2 also records a "delta_vs" pointer at
+# BENCH_(N-1).json — the previous trajectory point this run is read
+# against — plus the standing comparison caveats in "notes".
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_2.json)
 #        BENCHTIME=2s scripts/bench.sh    to change -benchtime
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_1.json}
+OUT=${1:-BENCH_2.json}
 BENCHTIME=${BENCHTIME:-1s}
+DELTA_VS=""
+case "$OUT" in
+BENCH_*.json)
+	n=${OUT#BENCH_}
+	n=${n%.json}
+	case "$n" in
+	*[!0-9]*) ;;
+	*) [ "$n" -ge 2 ] && DELTA_VS="BENCH_$((n - 1)).json" ;;
+	esac
+	;;
+esac
 PKGS="./internal/core ./internal/score ./internal/entropy ./internal/truth"
 
 RAW=$(mktemp)
@@ -24,6 +39,10 @@ go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
 	echo '  "generated_by": "scripts/bench.sh",'
 	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	if [ -n "$DELTA_VS" ]; then
+		printf '  "delta_vs": "%s",\n' "$DELTA_VS"
+		echo '  "notes": "IncEstimateLarge was reshaped after BENCH_1: its headline IncEstHeu/50000 and IncEstScale/50000 now run a crawl-shaped world (2000 sources, 1000 patterns; each source backs ~2 patterns), while BENCH_1 ran them on the 120-source dense world, preserved as IncEstHeuDense/50000. Compare the headline runs against BENCH_1 IncEstHeu/50000 for the large-world-cliff trajectory and IncEstHeuDense for the same-world delta. The 200k runs (4000 sources, 2000 patterns) are new at BENCH_2.",'
+	fi
 	echo '  "baseline_note": "pre-engine seed (see scripts/baseline_seed.txt)",'
 	echo '  "baseline": {'
 	awk -f scripts/bench_json.awk scripts/baseline_seed.txt
