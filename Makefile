@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-invariants vet lint race check bench bench-smoke fuzz-smoke golden
+.PHONY: all build test test-invariants vet lint lint-json race check bench bench-smoke fuzz-smoke golden
 
 all: build
 
@@ -17,14 +17,30 @@ test:
 test-invariants:
 	$(GO) test -tags invariants ./...
 
+# vet runs the stock analyzers, plus the shadow checker when its vettool
+# is installed (go.dev/x/tools/go/analysis/passes/shadow) — the gate skips
+# it gracefully on machines without it rather than requiring a download.
 vet:
 	$(GO) vet ./...
+	@if command -v shadow >/dev/null 2>&1; then \
+		echo "$(GO) vet -vettool=$$(command -v shadow) ./..."; \
+		$(GO) vet -vettool=$$(command -v shadow) ./...; \
+	else \
+		echo "shadow vettool not installed; skipping (go install golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@latest)"; \
+	fi
 
 # lint runs corrolint, the repository's domain-aware static-analysis suite
-# (floatexact, logguard, mapdet, heapdet, globalrand, gonosync, closecheck,
-# loopdriver); see cmd/corrolint.
+# (8 per-function + 3 interprocedural analyzers; see cmd/corrolint and
+# DESIGN.md §13) against the committed baseline. -ratchet makes stale
+# baseline entries an error, so the debt file can only shrink.
 lint:
-	$(GO) run ./cmd/corrolint ./...
+	$(GO) run ./cmd/corrolint -baseline lint.baseline -ratchet ./...
+
+# lint-json writes the machine-readable report (CI uploads it as an
+# artifact). The leading '-' keeps the target from failing: the report is
+# most useful exactly when the lint gate is red.
+lint-json:
+	-$(GO) run ./cmd/corrolint -json -baseline lint.baseline ./... > corrolint.json
 
 # The race target covers internal/core — the parallel ∆H ranker, the sharded
 # stream's worker pool, and the fault-injection suite (worker panics,

@@ -1,15 +1,26 @@
 // Command corrolint runs the repository's domain-aware static-analysis
-// suite over Go packages: five analyzers guarding the numeric-determinism
-// contract of the corroboration pipeline (see internal/lint).
+// suite over Go packages: eleven analyzers guarding the numeric-determinism
+// contract of the corroboration pipeline, three of them interprocedural
+// over a whole-program call graph (see internal/lint).
 //
 // Usage:
 //
-//	corrolint [-only name1,name2] [-v] [packages...]
+//	corrolint [-only name1,name2] [-json] [-baseline file] [-write-baseline]
+//	          [-ratchet] [-v] [packages...]
 //
 // Package patterns resolve like the go tool's: "./..." walks the module,
 // a plain path names one directory. With no patterns, "./..." is assumed.
-// Findings print as file:line:col [analyzer] message; the exit status is 1
-// when any finding survives suppression, 2 on usage or load errors.
+// Every directory is analyzed under both build-tag variants (default and
+// `invariants`), with duplicate findings folded.
+//
+// Findings print as file:line:col [analyzer] message; -json instead emits
+// a versioned machine-readable report on stdout. With -baseline, findings
+// recorded in the committed baseline file are tolerated (tracked debt) and
+// only NEW findings fail the run; -write-baseline regenerates the file and
+// -ratchet makes stale baseline entries (debt already burned down) an
+// error so the file can only shrink. The exit status is 0 when clean
+// modulo the baseline, 1 on new findings (or stale entries under
+// -ratchet), 2 on usage or load errors.
 //
 // Suppress an individual finding with a justified ignore comment on the
 // line above (or trailing on the offending line):
@@ -21,8 +32,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
 	"corroborate/internal/lint"
 )
@@ -31,84 +40,42 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	verbose := flag.Bool("v", false, "log analyzed packages and soft type errors")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report on stdout")
+	baseline := flag.String("baseline", "", "baseline file to match findings against")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline file from the current findings")
+	ratchet := flag.Bool("ratchet", false, "treat stale baseline entries as errors")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: corrolint [-only name1,name2] [-v] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: corrolint [-only name1,name2] [-json] [-baseline file] [-write-baseline] [-ratchet] [-v] [packages...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			scope := ""
+			if a.Interprocedural {
+				scope = " (interprocedural)"
+			}
+			fmt.Printf("%-13s %s%s\n", a.Name, a.Doc, scope)
 		}
 		return
-	}
-
-	analyzers, err := lint.AnalyzersByName(*only)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "corrolint:", err)
-		os.Exit(2)
-	}
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "corrolint:", err)
-		os.Exit(2)
+		os.Exit(lint.ExitError)
 	}
-	loader, err := lint.NewLoader(cwd)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "corrolint:", err)
-		os.Exit(2)
-	}
-	dirs, err := lint.Expand(cwd, patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "corrolint:", err)
-		os.Exit(2)
-	}
-
-	exit := 0
-	total := 0
-	for _, dir := range dirs {
-		pkgs, err := loader.LoadDir(dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "corrolint: %s: %v\n", dir, err)
-			exit = 2
-			continue
-		}
-		for _, pkg := range pkgs {
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "corrolint: analyzing %s (%d files)\n", pkg.ImportPath, len(pkg.Files))
-				for _, terr := range pkg.TypeErrors {
-					fmt.Fprintf(os.Stderr, "corrolint: note: %v\n", terr)
-				}
-			}
-			for _, f := range lint.Run(pkg, analyzers) {
-				f.Pos.Filename = relPath(cwd, f.Pos.Filename)
-				fmt.Println(f)
-				total++
-			}
-		}
-	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "corrolint: %d finding(s)\n", total)
-		if exit == 0 {
-			exit = 1
-		}
-	}
-	os.Exit(exit)
-}
-
-// relPath shortens absolute paths under the working directory for readable,
-// clickable reports.
-func relPath(cwd, path string) string {
-	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
-		return rel
-	}
-	return path
+	os.Exit(lint.Main(lint.Options{
+		Dir:           cwd,
+		Patterns:      flag.Args(),
+		Only:          *only,
+		JSON:          *jsonOut,
+		Baseline:      *baseline,
+		WriteBaseline: *writeBaseline,
+		Ratchet:       *ratchet,
+		Verbose:       *verbose,
+	}, os.Stdout, os.Stderr))
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"corroborate/internal/lint"
+)
+
+// TestRepoCorrolintClean is the self-check: the repository must be clean
+// under its own analyzer suite modulo the committed lint.baseline, with no
+// stale baseline debt left behind (-ratchet semantics). This is the same
+// invocation CI runs, so a finding introduced anywhere in the module fails
+// here first.
+func TestRepoCorrolintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis under both tag variants")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := lint.Main(lint.Options{
+		Dir:      root,
+		Baseline: "lint.baseline",
+		Ratchet:  true,
+	}, &out, &errb)
+	if code != lint.ExitClean {
+		t.Fatalf("corrolint exit %d; findings:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}

@@ -254,9 +254,17 @@ func (c Corroborator) ToDataset(queries []Query) (*truth.Dataset, error) {
 				supporters[ci][q.Extractions[i].Source] = true
 			}
 		}
-		// Every source seen in the query votes on every cluster.
+		// Every source seen in the query votes on every cluster. Sources
+		// intern in sorted order: the builder assigns IDs first-seen, and
+		// source numbering decides float-summation order downstream, so
+		// map-iteration order here would leak into the output bytes.
 		for ci := range clusters {
+			srcs := make([]string, 0, len(supporters[ci]))
 			for src := range supporters[ci] {
+				srcs = append(srcs, src)
+			}
+			sort.Strings(srcs)
+			for _, src := range srcs {
 				s := b.Source(src)
 				for cj := range clusters {
 					if supporters[cj][src] {

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestREADMEAnalyzerTable keeps the README's generated analyzer table in
+// lockstep with the registry, exactly like the root registry_table_test.go
+// does for the method table: the markers delimit what AnalyzerTable
+// renders.
+func TestREADMEAnalyzerTable(t *testing.T) {
+	const (
+		begin = "<!-- analyzers:begin -->"
+		end   = "<!-- analyzers:end -->"
+	)
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(readme[i+len(begin) : j])
+	want := strings.TrimSpace(AnalyzerTable())
+	if got != want {
+		t.Errorf("README analyzer table is out of sync with the suite.\n--- README ---\n%s\n--- AnalyzerTable() ---\n%s\nPaste the generated table between the markers.", got, want)
+	}
+}

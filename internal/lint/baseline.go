@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The baseline file (lint.baseline at the module root) is the ratchet: it
+// freezes the findings that existed when an analyzer landed, so CI can
+// fail on anything NEW while the frozen debt is tracked and burned down.
+// Entries are keyed by analyzer, module-relative slash path, and message —
+// deliberately no line numbers, so unrelated edits shifting a file do not
+// invalidate the baseline — and duplicates are counted: three identical
+// findings in one file need three baseline lines.
+
+// BaselineKey identifies one baselined finding class.
+type BaselineKey struct {
+	Analyzer string
+	File     string
+	Message  string
+}
+
+func (k BaselineKey) String() string {
+	return fmt.Sprintf("%s\t%s\t%s", k.Analyzer, k.File, k.Message)
+}
+
+// keyOf reduces a finding to its baseline key. The finding's filename must
+// already be module-relative (the driver normalizes before matching).
+func keyOf(f Finding) BaselineKey {
+	return BaselineKey{Analyzer: f.Analyzer, File: f.Pos.Filename, Message: f.Message}
+}
+
+// ParseBaseline reads the committed baseline: one tab-separated
+// analyzer/file/message triple per line, '#' comments and blank lines
+// skipped. The returned map counts occurrences per key.
+func ParseBaseline(data []byte) (map[BaselineKey]int, error) {
+	counts := make(map[BaselineKey]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("lint: baseline line %d: want analyzer<TAB>file<TAB>message, got %q", i+1, line)
+		}
+		counts[BaselineKey{Analyzer: parts[0], File: parts[1], Message: parts[2]}]++
+	}
+	return counts, nil
+}
+
+// FormatBaseline renders findings as a baseline file: a header explaining
+// the ratchet, then one sorted line per finding occurrence.
+func FormatBaseline(findings []Finding) []byte {
+	var lines []string
+	for _, f := range findings {
+		lines = append(lines, keyOf(f).String())
+	}
+	sort.Strings(lines)
+	var buf bytes.Buffer
+	buf.WriteString("# corrolint baseline — frozen findings tracked for burn-down.\n")
+	buf.WriteString("# New findings are NOT covered: corrolint exits nonzero on anything absent here.\n")
+	buf.WriteString("# Remove lines as the debt is fixed; -ratchet turns stale lines into errors.\n")
+	buf.WriteString("# Regenerate with: go run ./cmd/corrolint -write-baseline ./...\n")
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// ApplyBaseline splits findings into fresh (not covered — these fail the
+// run) and baselined (covered), and reports the stale baseline entries
+// whose findings no longer occur (the burned-down debt to delete).
+func ApplyBaseline(findings []Finding, base map[BaselineKey]int) (fresh, baselined []Finding, stale []BaselineKey) {
+	remaining := make(map[BaselineKey]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	for _, f := range findings {
+		k := keyOf(f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined = append(baselined, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].String() < stale[j].String() })
+	return fresh, baselined, stale
+}

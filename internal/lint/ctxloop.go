@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxLoop guards the cancellation contract of PR 4/5: cancellation is
+// observed at round boundaries, so any loop that drives per-iteration work
+// into the internal/core / internal/engine hot paths must either consult
+// ctx.Err()/ctx.Done() itself or hand its context to a callee that does.
+// A function that accepts a context and then loops over hot calls without
+// either is a cancellation leak: SIGINT hangs until the whole run drains.
+//
+// The check is interprocedural on both sides. "Reaches a hot path" follows
+// the call graph (a loop body calling step() which calls engine.MaxDelta
+// counts), and "checks ctx" follows it too (a loop whose callee consults a
+// context it holds is clean). Passing a context.Context argument into any
+// call in the loop body also counts as clean — the callee then owns the
+// round boundary, which is exactly the engine.Iterate shape.
+//
+// Only functions that take a context.Context parameter are checked (no
+// context, no contract), hot packages themselves are exempt (they OWN the
+// round-boundary checks; flagging their inner loops would demand a check
+// per fact), and _test.go files are exempt (tests drive hot paths to
+// completion deliberately).
+var CtxLoop = &Analyzer{
+	Name:            "ctxloop",
+	Doc:             "loop with a context in hand driving core/engine hot paths with no reachable ctx check",
+	Interprocedural: true,
+	Run:             runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) {
+	if pass.Pkg != nil && isHotPath(strings.TrimSuffix(pass.Pkg.Path(), "_test")) {
+		return
+	}
+	for _, n := range pass.Prog.nodesIn(pass.Unit) {
+		if n.decl == nil {
+			continue // literals inherit their encloser's contract
+		}
+		name := pass.Fset.Position(n.body.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !hasCtxParam(n) {
+			continue
+		}
+		checkCtxLoops(pass, n)
+	}
+}
+
+// hasCtxParam reports whether the function receives a context.Context.
+func hasCtxParam(n *funcNode) bool {
+	for _, pv := range n.params {
+		if isContextType(pv.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxLoops reports the outermost loops of n that reach a hot path
+// with no ctx check on any path. Inner loops of a reported loop are
+// skipped: one finding per cancellation gap.
+func checkCtxLoops(pass *Pass, n *funcNode) {
+	var visit func(node ast.Node)
+	visit = func(node ast.Node) {
+		ast.Inspect(node, func(an ast.Node) bool {
+			if an == node {
+				return true
+			}
+			if _, ok := an.(*ast.FuncLit); ok {
+				return false
+			}
+			var body *ast.BlockStmt
+			switch st := an.(type) {
+			case *ast.ForStmt:
+				body = st.Body
+			case *ast.RangeStmt:
+				body = st.Body
+			default:
+				return true
+			}
+			if loopIsCtxClean(pass, n, body) {
+				return true // keep scanning nested loops independently
+			}
+			if loopReachesHot(pass, n, body) {
+				pass.Reportf(an.Pos(), "loop drives internal/core//internal/engine work with no reachable ctx.Err/ctx.Done check and no ctx handed to a callee; check ctx at the round boundary")
+				return false // one finding covers the nested loops too
+			}
+			return true
+		})
+	}
+	visit(n.body)
+}
+
+// loopIsCtxClean reports a visible cancellation path inside the loop body:
+// a direct ctx.Err/ctx.Done check, a context handed to any callee, or a
+// call whose summary says a reachable callee consults a context it holds.
+func loopIsCtxClean(pass *Pass, n *funcNode, body *ast.BlockStmt) bool {
+	info := n.pkg.Info
+	clean := false
+	ast.Inspect(body, func(an ast.Node) bool {
+		if clean {
+			return false
+		}
+		if _, ok := an.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := an.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCtxCheck(info, call) {
+			clean = true
+			return false
+		}
+		if site := siteFor(n, call); site != nil {
+			if site.passesCtx {
+				clean = true
+				return false
+			}
+			if callee := pass.Prog.lookup(site.calleeKey); callee != nil && callee.sum.checksCtx {
+				clean = true
+				return false
+			}
+		}
+		return true
+	})
+	return clean
+}
+
+// loopReachesHot reports whether any call in the loop body reaches an
+// internal/core or internal/engine function, directly or transitively.
+func loopReachesHot(pass *Pass, n *funcNode, body *ast.BlockStmt) bool {
+	hot := false
+	ast.Inspect(body, func(an ast.Node) bool {
+		if hot {
+			return false
+		}
+		if _, ok := an.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := an.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		site := siteFor(n, call)
+		if site == nil {
+			return true
+		}
+		if site.calleePath != "" && isHotPath(site.calleePath) {
+			hot = true
+			return false
+		}
+		if callee := pass.Prog.lookup(site.calleeKey); callee != nil && callee.sum.reachesHot {
+			hot = true
+			return false
+		}
+		return true
+	})
+	return hot
+}

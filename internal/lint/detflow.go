@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetFlow is the interprocedural determinism-taint analyzer. The existing
+// mapdet check sees a map-ordered append only when source and sink share a
+// function; one call hop hides it completely — exactly the kind of silent
+// break that would corrupt the byte-identical trajectories the ∆H
+// equivalence suite locks. DetFlow follows the taint through the program
+// summaries (see program.go):
+//
+//  1. A call inside a `range` over a map, handing a loop-derived value to a
+//     function whose summary says it accumulates that parameter into an
+//     ordered sink (append to a global / field / pointer target, string or
+//     float accumulation, fmt/CSV/encoder emission — directly or through
+//     any depth of further calls), is reported at the call site.
+//  2. A direct emission call (fmt print family, Write/Encode methods, JSON
+//     marshalling) inside a map range with a loop-derived argument is
+//     reported: the output order is the map's iteration order.
+//  3. A value whose element order is map- or select-derived — built by the
+//     helper-append shape `x = add(x, k)` mapdet cannot see, or returned by
+//     a function with a tainted result summary — is reported where it flows
+//     into an emission call or a sink parameter, unless it passed through a
+//     sort.*/slices.* call first.
+//
+// The approved pattern stays collect → sort → emit; sorting a value clears
+// its taint for the rest of the function.
+var DetFlow = &Analyzer{
+	Name:            "detflow",
+	Doc:             "map-iteration or select-arrival order reaching an ordered sink through calls",
+	Interprocedural: true,
+	Run:             runDetFlow,
+}
+
+func runDetFlow(pass *Pass) {
+	for _, n := range pass.Prog.nodesIn(pass.Unit) {
+		detFlowMapRanges(pass, n)
+		detFlowTaintedValues(pass, n)
+	}
+}
+
+// detFlowMapRanges handles rules 1 and 2: calls inside map-range bodies
+// whose loop-derived arguments reach an ordered sink.
+func detFlowMapRanges(pass *Pass, n *funcNode) {
+	info := n.pkg.Info
+	inspectOwn(n, func(an ast.Node) bool {
+		rs, ok := an.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		loopDerived := func(e ast.Expr) bool {
+			derived := false
+			ast.Inspect(e, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok || derived {
+					return !derived
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				if obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+					if _, isVar := obj.(*types.Var); isVar {
+						derived = true
+					}
+				}
+				return !derived
+			})
+			return derived
+		}
+		ast.Inspect(rs.Body, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Rule 2: direct emission with a loop-derived argument.
+			if isEmissionCall(info, call) {
+				for _, a := range call.Args {
+					if loopDerived(a) {
+						pass.Reportf(call.Pos(), "emission inside map iteration writes values in nondeterministic order; collect into a slice, sort, then emit")
+						return true
+					}
+				}
+			}
+			// Rule 1: loop-derived value into a sink parameter of a callee
+			// (any call depth, per the fixpoint summaries).
+			site := siteFor(n, call)
+			if site == nil {
+				return true
+			}
+			callee := pass.Prog.lookup(site.calleeKey)
+			if callee == nil {
+				return true
+			}
+			for j, a := range site.args {
+				if callee.sum.sinkParams.has(j) && loopDerived(a.expr) {
+					pass.Reportf(call.Pos(), "call to %s inside map iteration feeds %s into an ordered sink, so map order becomes output order; iterate sorted keys", callee.name(), types.ExprString(a.expr))
+					break
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// siteFor finds the recorded call site of a syntactic call in n.
+func siteFor(n *funcNode, call *ast.CallExpr) *callSite {
+	for i := range n.calls {
+		if n.calls[i].call == call && n.calls[i].calleeName != "callback" {
+			return &n.calls[i]
+		}
+	}
+	return nil
+}
+
+// detFlowTaintedValues handles rule 3: order-tainted locals (helper-append
+// accumulation, select races, tainted-result calls) flowing into emission
+// calls or sink parameters without an intervening sort.
+func detFlowTaintedValues(pass *Pass, n *funcNode) {
+	info := n.pkg.Info
+	tainted := pass.Prog.taintedLocals(n)
+	if len(tainted) == 0 {
+		return
+	}
+	inspectOwn(n, func(an ast.Node) bool {
+		call, ok := an.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isEmissionCall(info, call) {
+			for _, a := range call.Args {
+				obj := rootObj(info, a)
+				if obj != nil && tainted[obj] {
+					pass.Reportf(call.Pos(), "%s carries map-iteration/select order into ordered output; sort it before emitting", obj.Name())
+					return true
+				}
+			}
+		}
+		site := siteFor(n, call)
+		if site == nil {
+			return true
+		}
+		callee := pass.Prog.lookup(site.calleeKey)
+		if callee == nil {
+			return true
+		}
+		for j, a := range site.args {
+			if callee.sum.sinkParams.has(j) && a.obj != nil && tainted[a.obj] {
+				pass.Reportf(call.Pos(), "%s carries map-iteration/select order into the ordered sink of %s; sort it first", a.obj.Name(), callee.name())
+				return true
+			}
+		}
+		return true
+	})
+}

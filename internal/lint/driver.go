@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Options configures one corrolint driver run (the testable core of
+// cmd/corrolint).
+type Options struct {
+	// Dir is the working directory patterns resolve against; the module
+	// containing it is the analysis root.
+	Dir string
+	// Patterns are go-tool-style package patterns ("./..." when empty).
+	Patterns []string
+	// Only restricts to a comma-separated subset of analyzers.
+	Only string
+	// JSON emits the machine-readable report instead of text findings.
+	JSON bool
+	// Baseline is the path (relative to Dir) of the committed baseline to
+	// match findings against; "" disables baseline handling.
+	Baseline string
+	// WriteBaseline rewrites the Baseline file from the current findings
+	// instead of checking against it.
+	WriteBaseline bool
+	// Ratchet escalates stale baseline entries (burned-down debt not yet
+	// deleted from the file) from notes to errors.
+	Ratchet bool
+	// Verbose logs analyzed packages and soft type errors.
+	Verbose bool
+}
+
+// Exit codes of the driver (and the corrolint command).
+const (
+	ExitClean = 0 // no findings beyond the baseline
+	ExitDirty = 1 // fresh findings, or stale baseline entries under -ratchet
+	ExitError = 2 // usage, load, or I/O failure
+)
+
+// Main is the corrolint driver: load every requested package (both
+// build-tag variants), build the whole-program view, run the analyzers,
+// fold the baseline, and render text or JSON. It returns the process exit
+// code.
+func Main(opts Options, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "corrolint:", err)
+		return ExitError
+	}
+	analyzers, err := AnalyzersByName(opts.Only)
+	if err != nil {
+		return fail(err)
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := NewLoader(opts.Dir)
+	if err != nil {
+		return fail(err)
+	}
+	dirs, err := Expand(opts.Dir, patterns)
+	if err != nil {
+		return fail(err)
+	}
+
+	exit := ExitClean
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "corrolint: %s: %v\n", dir, err)
+			exit = ExitError
+			continue
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	prog := BuildProgram(pkgs)
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if opts.Verbose {
+			tag := ""
+			if len(pkg.Tags) > 0 {
+				tag = " [tags: " + strings.Join(pkg.Tags, ",") + "]"
+			}
+			fmt.Fprintf(stderr, "corrolint: analyzing %s (%d files)%s\n", pkg.ImportPath, len(pkg.Files), tag)
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "corrolint: note: %v\n", terr)
+			}
+		}
+		findings = append(findings, RunProgram(prog, pkg, analyzers)...)
+	}
+	// Normalize to module-relative slash paths — the form the baseline
+	// stores and reports print — then fold the tag-variant duplicates.
+	for i := range findings {
+		findings[i].Pos.Filename = filepath.ToSlash(relPath(loader.ModuleRoot, findings[i].Pos.Filename))
+	}
+	findings = DedupeFindings(findings)
+	sortFindings(findings)
+
+	if opts.WriteBaseline {
+		path := opts.Baseline
+		if path == "" {
+			path = "lint.baseline"
+		}
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(opts.Dir, path)
+		}
+		if err := os.WriteFile(path, FormatBaseline(findings), 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "corrolint: wrote %d finding(s) to %s\n", len(findings), path)
+		return exit
+	}
+
+	fresh := findings
+	var baselined []Finding
+	var stale []BaselineKey
+	if opts.Baseline != "" {
+		path := opts.Baseline
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(opts.Dir, path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fail(err)
+		}
+		base, err := ParseBaseline(data)
+		if err != nil {
+			return fail(err)
+		}
+		fresh, baselined, stale = ApplyBaseline(findings, base)
+	}
+
+	if opts.JSON {
+		if err := NewJSONReport(fresh, baselined, stale).Write(stdout); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Fprintln(stdout, f)
+		}
+		for _, k := range stale {
+			fmt.Fprintf(stderr, "corrolint: stale baseline entry (debt burned down — delete the line): %s\n", k)
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(stderr, "corrolint: %d new finding(s)", len(fresh))
+		if len(baselined) > 0 {
+			fmt.Fprintf(stderr, " (+%d baselined)", len(baselined))
+		}
+		fmt.Fprintln(stderr)
+		if exit == ExitClean {
+			exit = ExitDirty
+		}
+	}
+	if len(stale) > 0 && opts.Ratchet && exit == ExitClean {
+		fmt.Fprintf(stderr, "corrolint: ratchet: %d stale baseline entr(y/ies) must be deleted\n", len(stale))
+		exit = ExitDirty
+	}
+	return exit
+}
+
+// relPath shortens absolute paths under root for readable, clickable
+// reports; paths outside root stay absolute.
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

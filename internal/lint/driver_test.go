@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir so driver tests
+// can exercise load → analyze → baseline → render end to end against real
+// files, exactly as cmd/corrolint does.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `package scratch
+
+func ok() int { return 1 }
+`
+
+// dirtySrc trips exactly one analyzer (logguard: unguarded math.Log).
+const dirtySrc = `package scratch
+
+import "math"
+
+func risky(x float64) float64 { return math.Log(x) }
+`
+
+func runDriver(t *testing.T, opts Options) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = Main(opts, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestDriverExitClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{"main.go": cleanSrc})
+	code, out, errb := runDriver(t, Options{Dir: dir})
+	if code != ExitClean {
+		t.Fatalf("clean module: exit %d, stderr %q", code, errb)
+	}
+	if out != "" {
+		t.Fatalf("clean module: unexpected output %q", out)
+	}
+}
+
+func TestDriverExitDirty(t *testing.T) {
+	dir := writeModule(t, map[string]string{"main.go": dirtySrc})
+	code, out, errb := runDriver(t, Options{Dir: dir})
+	if code != ExitDirty {
+		t.Fatalf("dirty module: exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "[logguard]") || !strings.Contains(out, "main.go:") {
+		t.Fatalf("dirty module: output %q missing the logguard finding", out)
+	}
+	if !strings.Contains(errb, "1 new finding(s)") {
+		t.Fatalf("dirty module: stderr %q missing the summary", errb)
+	}
+}
+
+func TestDriverExitError(t *testing.T) {
+	// No go.mod anywhere above the temp dir: the loader cannot resolve a
+	// module root and the driver must report a usage/load failure.
+	dir := t.TempDir()
+	code, _, errb := runDriver(t, Options{Dir: dir})
+	if code != ExitError {
+		t.Fatalf("module-less dir: exit %d, stderr %q", code, errb)
+	}
+
+	// Unknown analyzer name is a usage error too.
+	mod := writeModule(t, map[string]string{"main.go": cleanSrc})
+	code, _, _ = runDriver(t, Options{Dir: mod, Only: "nosuch"})
+	if code != ExitError {
+		t.Fatalf("-only nosuch: exit %d, want %d", code, ExitError)
+	}
+}
+
+func TestDriverJSONRoundTrip(t *testing.T) {
+	dir := writeModule(t, map[string]string{"main.go": dirtySrc})
+	var out, errb bytes.Buffer
+	code := Main(Options{Dir: dir, JSON: true}, &out, &errb)
+	if code != ExitDirty {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	rep, err := ReadJSONReport(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("report does not round-trip: %v\n%s", err, out.String())
+	}
+	if rep.Version != JSONVersion {
+		t.Fatalf("version %d, want %d", rep.Version, JSONVersion)
+	}
+	if rep.Count != 1 || rep.Fresh != 1 || rep.Baselined != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 1/1/0", rep.Count, rep.Fresh, rep.Baselined)
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "logguard" || f.File != "main.go" || f.Line == 0 || f.Col == 0 {
+		t.Fatalf("finding = %+v", f)
+	}
+	if f.Baselined {
+		t.Fatalf("finding marked baselined without a baseline: %+v", f)
+	}
+}
+
+func TestDriverJSONRejectsUnknownFieldsAndVersions(t *testing.T) {
+	if _, err := ReadJSONReport(strings.NewReader(`{"version":1,"count":0,"fresh":0,"baselined":0,"findings":[],"bogus":true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ReadJSONReport(strings.NewReader(`{"version":99,"count":0,"fresh":0,"baselined":0,"findings":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestDriverBaselineLifecycle walks the whole ratchet: freeze existing debt
+// with -write-baseline, run clean against it, catch a NEW finding the
+// baseline does not cover, then burn the debt down and watch the stale
+// entry escalate under -ratchet.
+func TestDriverBaselineLifecycle(t *testing.T) {
+	dir := writeModule(t, map[string]string{"main.go": dirtySrc})
+
+	// Freeze: the dirty finding becomes tracked debt.
+	code, _, errb := runDriver(t, Options{Dir: dir, Baseline: "lint.baseline", WriteBaseline: true})
+	if code != ExitClean {
+		t.Fatalf("write-baseline: exit %d, stderr %q", code, errb)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "logguard\tmain.go\t") {
+		t.Fatalf("baseline missing the frozen finding:\n%s", data)
+	}
+
+	// Same findings, baseline applied: clean.
+	code, out, errb := runDriver(t, Options{Dir: dir, Baseline: "lint.baseline"})
+	if code != ExitClean || out != "" {
+		t.Fatalf("baselined run: exit %d, out %q, stderr %q", code, out, errb)
+	}
+
+	// A new finding in another file is NOT covered.
+	extra := filepath.Join(dir, "extra.go")
+	if err := os.WriteFile(extra, []byte("package scratch\n\nimport \"math\"\n\nfunc alsoRisky(x float64) float64 { return math.Log(x) }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb = runDriver(t, Options{Dir: dir, Baseline: "lint.baseline"})
+	if code != ExitDirty {
+		t.Fatalf("new finding: exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "extra.go:") || strings.Contains(out, "main.go:") {
+		t.Fatalf("new finding: output %q should list only extra.go", out)
+	}
+	if !strings.Contains(errb, "(+1 baselined)") {
+		t.Fatalf("new finding: stderr %q missing the baselined count", errb)
+	}
+
+	// Burn the debt down: the old finding disappears, its baseline line
+	// goes stale. A plain run only notes it; -ratchet makes it an error.
+	if err := os.Remove(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb = runDriver(t, Options{Dir: dir, Baseline: "lint.baseline"})
+	if code != ExitClean || !strings.Contains(errb, "stale baseline entry") {
+		t.Fatalf("stale without ratchet: exit %d, stderr %q", code, errb)
+	}
+	code, _, errb = runDriver(t, Options{Dir: dir, Baseline: "lint.baseline", Ratchet: true})
+	if code != ExitDirty || !strings.Contains(errb, "ratchet") {
+		t.Fatalf("stale with ratchet: exit %d, stderr %q", code, errb)
+	}
+
+	// Regenerating clears the file back to header-only.
+	code, _, _ = runDriver(t, Options{Dir: dir, Baseline: "lint.baseline", WriteBaseline: true})
+	if code != ExitClean {
+		t.Fatalf("rewrite: exit %d", code)
+	}
+	code, _, errb = runDriver(t, Options{Dir: dir, Baseline: "lint.baseline", Ratchet: true})
+	if code != ExitClean {
+		t.Fatalf("after rewrite: exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestDriverJSONIncludesBaselinedAndStale(t *testing.T) {
+	dir := writeModule(t, map[string]string{"main.go": dirtySrc})
+	if code, _, errb := runDriver(t, Options{Dir: dir, Baseline: "lint.baseline", WriteBaseline: true}); code != ExitClean {
+		t.Fatalf("write-baseline: exit %d, stderr %q", code, errb)
+	}
+	// Keep the baseline but remove the finding AND add a new one: the JSON
+	// report must carry the fresh finding and the stale entry side by side.
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte("package scratch\n\nimport \"math\"\n\nfunc other(x float64) float64 { return math.Sqrt(x) }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := Main(Options{Dir: dir, Baseline: "lint.baseline", JSON: true}, &out, &errb)
+	rep, err := ReadJSONReport(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, out.String())
+	}
+	if code != ExitClean {
+		t.Fatalf("stale-only JSON run: exit %d, stderr %q", code, errb.String())
+	}
+	if rep.Fresh != 0 {
+		t.Fatalf("fresh = %d, want 0 (math.Sqrt is a sanitizer, not a sink)", rep.Fresh)
+	}
+	if len(rep.Stale) != 1 || rep.Stale[0].Analyzer != "logguard" {
+		t.Fatalf("stale = %+v", rep.Stale)
+	}
+}

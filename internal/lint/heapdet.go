@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 )
 
 // HeapDet reports container/heap Less methods that order by a
@@ -50,7 +51,13 @@ func runHeapDet(pass *Pass) {
 			methods[recv][fd.Name.Name] = fd
 		}
 	}
-	for recv, set := range methods {
+	recvs := make([]string, 0, len(methods))
+	for recv := range methods {
+		recvs = append(recvs, recv)
+	}
+	sort.Strings(recvs)
+	for _, recv := range recvs {
+		set := methods[recv]
 		if !hasAll(set, heapMethodSet) {
 			continue
 		}

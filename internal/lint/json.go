@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONVersion is the schema version stamped into every -json report; bump
+// it on any incompatible field change so artifact consumers can dispatch.
+const JSONVersion = 1
+
+// JSONFinding is one diagnostic in the machine-readable report.
+type JSONFinding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// JSONStale is a baseline entry whose finding no longer occurs.
+type JSONStale struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the full -json output: every finding (fresh and
+// baselined), the counts, and the stale baseline debt.
+type JSONReport struct {
+	Version   int           `json:"version"`
+	Count     int           `json:"count"`
+	Fresh     int           `json:"fresh"`
+	Baselined int           `json:"baselined"`
+	Stale     []JSONStale   `json:"stale,omitempty"`
+	Findings  []JSONFinding `json:"findings"`
+}
+
+// NewJSONReport assembles a report from the driver's classification. The
+// findings keep their sorted order; baselined ones are flagged, not
+// omitted, so the artifact shows the whole debt.
+func NewJSONReport(fresh, baselined []Finding, stale []BaselineKey) JSONReport {
+	all := make([]Finding, 0, len(fresh)+len(baselined))
+	isBaselined := make(map[int]bool)
+	all = append(all, fresh...)
+	for _, f := range baselined {
+		isBaselined[len(all)] = true
+		all = append(all, f)
+	}
+	rep := JSONReport{
+		Version:   JSONVersion,
+		Count:     len(all),
+		Fresh:     len(fresh),
+		Baselined: len(baselined),
+		Findings:  make([]JSONFinding, 0, len(all)),
+	}
+	ordered := make([]JSONFinding, len(all))
+	for i, f := range all {
+		ordered[i] = JSONFinding{
+			Analyzer:  f.Analyzer,
+			File:      f.Pos.Filename,
+			Line:      f.Pos.Line,
+			Col:       f.Pos.Column,
+			Message:   f.Message,
+			Baselined: isBaselined[i],
+		}
+	}
+	sortJSONFindings(ordered)
+	rep.Findings = ordered
+	for _, k := range stale {
+		rep.Stale = append(rep.Stale, JSONStale{Analyzer: k.Analyzer, File: k.File, Message: k.Message})
+	}
+	return rep
+}
+
+func sortJSONFindings(fs []JSONFinding) {
+	less := func(a, b JSONFinding) bool {
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	}
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// Write encodes the report with stable indentation (artifact-diff
+// friendly).
+func (r JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSONReport decodes a report, verifying the schema version.
+func ReadJSONReport(r io.Reader) (JSONReport, error) {
+	var rep JSONReport
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return rep, err
+	}
+	if rep.Version != JSONVersion {
+		return rep, errVersion(rep.Version)
+	}
+	return rep, nil
+}
+
+type errVersion int
+
+func (e errVersion) Error() string {
+	return "lint: unsupported corrolint JSON report version"
+}

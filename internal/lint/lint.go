@@ -49,6 +49,9 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the rule.
 	Doc string
+	// Interprocedural marks analyzers that consult the whole-program call
+	// graph and summaries (Pass.Prog) rather than single-function syntax.
+	Interprocedural bool
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -59,6 +62,12 @@ type Pass struct {
 	Files []*ast.File
 	Info  *types.Info
 	Pkg   *types.Package
+	// Prog is the whole-program view (call graph + fixpoint summaries)
+	// the interprocedural analyzers consult. Always non-nil: Run builds a
+	// single-package program when no wider one is supplied.
+	Prog *Program
+	// Unit is the loaded package under analysis.
+	Unit *Package
 
 	analyzer *Analyzer
 	findings *[]Finding
@@ -129,7 +138,27 @@ func Analyzers() []*Analyzer {
 		GoNoSync,
 		CloseCheck,
 		LoopDriver,
+		DetFlow,
+		CtxLoop,
+		SharedMutate,
 	}
+}
+
+// AnalyzerTable renders the suite as the markdown table embedded in the
+// README between the analyzers markers; registry_table_test.go-style sync
+// tests keep the two in lockstep.
+func AnalyzerTable() string {
+	var b strings.Builder
+	b.WriteString("| analyzer | interprocedural | rule |\n")
+	b.WriteString("|----------|-----------------|------|\n")
+	for _, a := range Analyzers() {
+		scope := "no"
+		if a.Interprocedural {
+			scope = "yes"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", a.Name, scope, a.Doc)
+	}
+	return b.String()
 }
 
 // AnalyzersByName resolves a comma-separated subset of analyzer names.
@@ -155,8 +184,17 @@ func AnalyzersByName(names string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over a loaded package, applies //lint:ignore
-// suppressions, and returns the surviving findings sorted by position.
+// suppressions, and returns the surviving findings sorted by position. The
+// interprocedural analyzers see only this one package; use RunProgram to
+// give them the full cross-package call graph.
 func Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	return RunProgram(BuildProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunProgram executes the analyzers over one package of a whole-program
+// view, applies //lint:ignore suppressions, and returns the surviving
+// findings sorted by position.
+func RunProgram(prog *Program, pkg *Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -164,12 +202,20 @@ func Run(pkg *Package, analyzers []*Analyzer) []Finding {
 			Files:    pkg.Files,
 			Info:     pkg.Info,
 			Pkg:      pkg.Types,
+			Prog:     prog,
+			Unit:     pkg,
 			analyzer: a,
 			findings: &findings,
 		}
 		a.Run(pass)
 	}
 	findings = applySuppressions(pkg, findings)
+	sortFindings(findings)
+	return findings
+}
+
+// sortFindings orders findings by position then analyzer name.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -181,9 +227,27 @@ func Run(pkg *Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
+}
+
+// DedupeFindings drops findings identical in analyzer, position, and
+// message, preserving order. The two build-tag variants of one package
+// (see Loader.LoadDir) report the shared files twice; this folds them.
+func DedupeFindings(findings []Finding) []Finding {
+	seen := make(map[Finding]bool, len(findings))
+	kept := findings[:0]
+	for _, f := range findings {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		kept = append(kept, f)
+	}
+	return kept
 }
 
 // ignoreDirective is the parsed form of one //lint:ignore comment.
@@ -196,19 +260,35 @@ const ignorePrefix = "//lint:ignore"
 
 // parseIgnore extracts the directive from a comment, reporting ok=false for
 // unrelated comments and a nil directive with ok=true for malformed ones.
+// The analyzer list is comma-separated; a sloppy "a, b" (space after the
+// comma) still names both analyzers — the list keeps consuming tokens while
+// it ends with a comma, and only then does the reason start.
 func parseIgnore(text string) (*ignoreDirective, bool) {
 	if !strings.HasPrefix(text, ignorePrefix) {
 		return nil, false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-	fields := strings.SplitN(rest, " ", 2)
-	if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
+	var names []string
+	for {
+		fields := strings.SplitN(rest, " ", 2)
+		for _, n := range strings.Split(fields[0], ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(fields) < 2 {
+			rest = ""
+			break
+		}
+		rest = strings.TrimSpace(fields[1])
+		if !strings.HasSuffix(fields[0], ",") {
+			break
+		}
+	}
+	if len(names) == 0 || rest == "" {
 		return nil, true
 	}
-	return &ignoreDirective{
-		analyzers: strings.Split(fields[0], ","),
-		reason:    strings.TrimSpace(fields[1]),
-	}, true
+	return &ignoreDirective{analyzers: names, reason: rest}, true
 }
 
 // applySuppressions removes findings covered by a well-formed

@@ -29,6 +29,9 @@ func TestAnalyzerGolden(t *testing.T) {
 		{dir: "gonosync", analyzers: "gonosync"},
 		{dir: "closecheck", analyzers: "closecheck"},
 		{dir: "loopdriver", analyzers: "loopdriver"},
+		{dir: "detflow", analyzers: "detflow"},
+		{dir: "ctxloop", analyzers: "ctxloop"},
+		{dir: "sharedmutate", analyzers: "sharedmutate"},
 		{dir: "suppress", analyzers: ""},
 	}
 	loader, err := NewLoader(".")
@@ -80,6 +83,49 @@ func TestAnalyzerGolden(t *testing.T) {
 	}
 }
 
+// TestInterproceduralMissedByIntraprocedural pins the acceptance claim of
+// the dataflow analyzers: their fixture positives are invisible to the
+// intraprocedural analyzers covering the same defect class. mapdet over the
+// detflow fixture and gonosync over the sharedmutate fixture must both come
+// back empty, while the interprocedural analyzer finds the cross-function
+// cases.
+func TestInterproceduralMissedByIntraprocedural(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dir     string
+		intra   string // must report nothing
+		inter   string // must report something
+	}{
+		{dir: "detflow", intra: "mapdet", inter: "detflow"},
+		{dir: "sharedmutate", intra: "gonosync", inter: "sharedmutate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkgs, err := loader.LoadDir(filepath.Join("testdata", tc.dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			intra, _ := AnalyzersByName(tc.intra)
+			inter, _ := AnalyzersByName(tc.inter)
+			var intraN, interN int
+			for _, pkg := range pkgs {
+				intraFindings := Run(pkg, intra)
+				intraN += len(intraFindings)
+				for _, f := range intraFindings {
+					t.Errorf("intraprocedural %s unexpectedly sees: %s", tc.intra, f)
+				}
+				interN += len(Run(pkg, inter))
+			}
+			if interN == 0 {
+				t.Errorf("interprocedural %s found nothing in its own fixture", tc.inter)
+			}
+		})
+	}
+}
+
 func TestParseIgnore(t *testing.T) {
 	cases := []struct {
 		comment    string
@@ -91,6 +137,9 @@ func TestParseIgnore(t *testing.T) {
 		{comment: "// just a comment", directive: false},
 		{comment: "//lint:ignore floatexact because reasons", directive: true, wellFormed: true, analyzers: []string{"floatexact"}, reason: "because reasons"},
 		{comment: "//lint:ignore floatexact,logguard shared reason", directive: true, wellFormed: true, analyzers: []string{"floatexact", "logguard"}, reason: "shared reason"},
+		{comment: "//lint:ignore floatexact, logguard sloppy comma-space list", directive: true, wellFormed: true, analyzers: []string{"floatexact", "logguard"}, reason: "sloppy comma-space list"},
+		{comment: "//lint:ignore floatexact,logguard,mapdet three names", directive: true, wellFormed: true, analyzers: []string{"floatexact", "logguard", "mapdet"}, reason: "three names"},
+		{comment: "//lint:ignore floatexact, logguard,", directive: true, wellFormed: false},
 		{comment: "//lint:ignore floatexact", directive: true, wellFormed: false},
 		{comment: "//lint:ignore floatexact   ", directive: true, wellFormed: false},
 		{comment: "//lint:ignore", directive: true, wellFormed: false},

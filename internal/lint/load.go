@@ -23,6 +23,11 @@ type Package struct {
 	Dir string
 	// ImportPath is the package's path within the module.
 	ImportPath string
+	// Tags are the build tags this variant was loaded under (nil for the
+	// default build context). Directories whose file set changes under
+	// `-tags invariants` (internal/invariant's panic paths) load twice;
+	// findings from the shared files are deduplicated by position.
+	Tags []string
 	// Fset positions every file in the package.
 	Fset *token.FileSet
 	// Files are the parsed sources, in deterministic (sorted) file order.
@@ -100,7 +105,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
 		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
-		files, err := l.parseDir(dir, false)
+		files, err := l.parseDir(dir, false, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -115,12 +120,26 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// parseDir parses the buildable Go files of one directory under the
-// default build context (so files behind inactive build tags, e.g.
-// `invariants`, are skipped exactly as `go build` would skip them).
-// withTests additionally includes the in-package _test.go files.
-func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, error) {
-	bp, err := build.ImportDir(dir, 0)
+// tagVariants are the build-tag sets every directory is analyzed under.
+// The repo's assertion layer (internal/invariant) swaps implementations on
+// the `invariants` tag; analyzing only the default context would leave the
+// panic-path files permanently unlinted.
+var tagVariants = [][]string{nil, {"invariants"}}
+
+// buildContext returns the build context selecting one tag variant.
+func buildContext(tags []string) build.Context {
+	ctx := build.Default
+	ctx.BuildTags = append([]string(nil), tags...)
+	return ctx
+}
+
+// parseDir parses the buildable Go files of one directory under the given
+// tag variant of the build context (files behind inactive build tags are
+// skipped exactly as `go build` would skip them). withTests additionally
+// includes the in-package _test.go files.
+func (l *Loader) parseDir(dir string, withTests bool, tags []string) ([]*ast.File, error) {
+	ctx := buildContext(tags)
+	bp, err := ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -168,22 +187,46 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 
 // LoadDir loads every package rooted in one directory: the main package
 // (with its in-package test files) and, when present, the external _test
-// package.
+// package — once per build-tag variant whose file set differs (so the
+// `-tags invariants` panic paths are analyzed too, not just the default
+// context). Findings from files shared between variants are expected to be
+// deduplicated by the caller (DedupeFindings).
 func (l *Loader) LoadDir(dir string) ([]*Package, error) {
-	bp, err := build.ImportDir(dir, 0)
+	var pkgs []*Package
+	seen := make(map[string]bool)
+	for _, tags := range tagVariants {
+		vpkgs, sig, err := l.loadVariant(dir, tags)
+		if err != nil {
+			return nil, err
+		}
+		if sig == "" || seen[sig] {
+			continue // no Go files under this variant, or same file set
+		}
+		seen[sig] = true
+		pkgs = append(pkgs, vpkgs...)
+	}
+	return pkgs, nil
+}
+
+// loadVariant loads one build-tag variant of a directory, returning its
+// packages and a signature of the file set (for variant deduplication).
+func (l *Loader) loadVariant(dir string, tags []string) ([]*Package, string, error) {
+	ctx := buildContext(tags)
+	bp, err := ctx.ImportDir(dir, 0)
 	if err != nil {
 		if _, ok := err.(*build.NoGoError); ok {
-			return nil, nil
+			return nil, "", nil
 		}
-		return nil, err
+		return nil, "", err
 	}
+	sig := strings.Join(bp.GoFiles, ",") + "|" + strings.Join(bp.TestGoFiles, ",") + "|" + strings.Join(bp.XTestGoFiles, ",")
 	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	rel, err := filepath.Rel(l.ModuleRoot, abs)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	importPath := l.ModulePath
 	if rel != "." {
@@ -191,15 +234,16 @@ func (l *Loader) LoadDir(dir string) ([]*Package, error) {
 	}
 
 	var pkgs []*Package
-	files, err := l.parseDir(dir, true)
+	files, err := l.parseDir(dir, true, tags)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if len(files) > 0 {
 		tpkg, info, soft := l.check(importPath, files)
 		pkgs = append(pkgs, &Package{
 			Dir:        dir,
 			ImportPath: importPath,
+			Tags:       tags,
 			Fset:       l.fset,
 			Files:      files,
 			Info:       info,
@@ -212,12 +256,13 @@ func (l *Loader) LoadDir(dir string) ([]*Package, error) {
 		sort.Strings(names)
 		xfiles, err := l.parseFiles(dir, names)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		tpkg, info, soft := l.check(importPath+"_test", xfiles)
 		pkgs = append(pkgs, &Package{
 			Dir:        dir,
 			ImportPath: importPath + "_test",
+			Tags:       tags,
 			Fset:       l.fset,
 			Files:      xfiles,
 			Info:       info,
@@ -225,7 +270,7 @@ func (l *Loader) LoadDir(dir string) ([]*Package, error) {
 			TypeErrors: soft,
 		})
 	}
-	return pkgs, nil
+	return pkgs, sig, nil
 }
 
 // Expand resolves command-line package patterns relative to dir: "./..."

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// SharedMutate is the interprocedural completion of gonosync. That check
+// sees only assignments written textually inside a `go func(){...}` body;
+// a worker that mutates shared state through a method or helper —
+// `go w.run(state)` with run writing state.hits, or a literal calling
+// touch(shared) — is invisible to it. SharedMutate follows the program
+// summaries instead: a goroutine spawned inside a loop (a worker pool,
+// so several run concurrently) that receives or captures a value declared
+// outside the loop, and whose call chain writes that value's fields with
+// no sync token (mutex Lock / sync/atomic) anywhere on the path, is a
+// data race the ordered outputs downstream would surface as silent
+// nondeterminism.
+//
+// The per-worker-slot idiom is exempt: writes through an index that comes
+// from outside the goroutine (out[i] = ..., shards[w].n++ where i/w is the
+// spawn loop's variable) give each goroutine its own element, which is the
+// sharded ranker's approved shape. Locking anywhere in the mutating
+// function clears it — corrolint checks structure, the race detector in
+// `make check` stays the dynamic backstop.
+var SharedMutate = &Analyzer{
+	Name:            "sharedmutate",
+	Doc:             "worker-pool goroutine mutating captured/shared state through calls without a sync token",
+	Interprocedural: true,
+	Run:             runSharedMutate,
+}
+
+func runSharedMutate(pass *Pass) {
+	for _, n := range pass.Prog.nodesIn(pass.Unit) {
+		checkSharedMutate(pass, n)
+	}
+}
+
+func checkSharedMutate(pass *Pass, n *funcNode) {
+	info := n.pkg.Info
+	// Spawn loops: map each go statement to its innermost enclosing loop
+	// within this function (worker pools only — a single goroutine's
+	// lifetime is gonosync's join problem, not a pool race).
+	type spawn struct {
+		gs   *ast.GoStmt
+		loop ast.Node
+	}
+	var spawns []spawn
+	var findSpawns func(node ast.Node, loop ast.Node)
+	findSpawns = func(node ast.Node, loop ast.Node) {
+		ast.Inspect(node, func(an ast.Node) bool {
+			if an == node {
+				return true
+			}
+			switch st := an.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				findSpawns(st.Body, st)
+				return false
+			case *ast.RangeStmt:
+				findSpawns(st.Body, st)
+				return false
+			case *ast.GoStmt:
+				if loop != nil {
+					spawns = append(spawns, spawn{gs: st, loop: loop})
+				}
+			}
+			return true
+		})
+	}
+	findSpawns(n.body, nil)
+
+	declaredIn := func(obj types.Object, node ast.Node) bool {
+		return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+	}
+
+	for _, sp := range spawns {
+		call := sp.gs.Call
+		// Literal worker: go func(...){...}(...) — consult the literal
+		// node's captured-mutation summary.
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			ln := pass.Prog.nodeFor(lit)
+			if ln == nil {
+				continue
+			}
+			var shared []string
+			for obj := range ln.sum.mutCaptured {
+				if declaredIn(obj, sp.loop) {
+					continue // per-iteration value: each goroutine has its own
+				}
+				shared = append(shared, obj.Name())
+			}
+			if len(shared) > 0 {
+				sort.Strings(shared) // deterministic pick across map orders
+				pass.Reportf(sp.gs.Pos(), "goroutines spawned in this loop mutate shared %s (directly or via calls) without a sync token; guard the writes with a mutex or give each worker its own copy", shared[0])
+			}
+			continue
+		}
+		// Named worker: go f(args) / go recv.method(args) — any argument
+		// (incl. the receiver) declared outside the spawn loop handed to a
+		// mutating parameter races across the pool.
+		site := siteFor(n, call)
+		if site == nil {
+			continue
+		}
+		callee := pass.Prog.lookup(site.calleeKey)
+		if callee == nil {
+			continue
+		}
+		for j, a := range site.args {
+			if !callee.sum.mutParams.has(j) {
+				continue
+			}
+			if a.obj == nil || declaredIn(a.obj, sp.loop) {
+				continue
+			}
+			if mentionsDeclaredIn(info, a.expr, sp.loop) {
+				continue // &shards[i]: distinct element per iteration
+			}
+			pass.Reportf(sp.gs.Pos(), "goroutines spawned in this loop share %s, whose fields %s writes without a sync token; guard the writes with a mutex or give each worker its own copy", a.obj.Name(), callee.name())
+			break
+		}
+	}
+}
+
+// mentionsDeclaredIn reports whether e references any variable declared
+// within node (e.g. the spawn loop's iteration variables).
+func mentionsDeclaredIn(info *types.Info, e ast.Expr, node ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(an ast.Node) bool {
+		id, ok := an.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End() {
+			if _, isVar := obj.(*types.Var); isVar {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+// Package fixture exercises the ctxloop analyzer: a function holding a
+// context that loops per-iteration work into the internal/core /
+// internal/engine hot paths must keep a reachable cancellation check. The
+// hot call sits one hop behind step() in every case, so no intraprocedural
+// check could classify these loops.
+package fixture
+
+import (
+	"context"
+
+	"corroborate/internal/engine"
+)
+
+// step reaches the engine hot path one call down.
+func step(xs []float64) float64 { return engine.MaxDelta(xs, xs) }
+
+// uncancellable loops hot work with a context in hand but never consults
+// it: reported.
+func uncancellable(ctx context.Context, batches [][]float64) float64 {
+	var last float64
+	for _, b := range batches {
+		last = step(b)
+	}
+	return last
+}
+
+// polite checks ctx.Err at every round boundary: clean.
+func polite(ctx context.Context, batches [][]float64) float64 {
+	var last float64
+	for _, b := range batches {
+		if ctx.Err() != nil {
+			return last
+		}
+		last = step(b)
+	}
+	return last
+}
+
+// runWith owns the round boundary for one batch.
+func runWith(ctx context.Context, b []float64) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return step(b)
+}
+
+// delegated hands its context into the loop's callee: clean.
+func delegated(ctx context.Context, batches [][]float64) float64 {
+	var last float64
+	for _, b := range batches {
+		last = runWith(ctx, b)
+	}
+	return last
+}
+
+// runner carries a stored context, the cmd/corroborate shape.
+type runner struct{ ctx context.Context }
+
+func (r *runner) tick(b []float64) float64 {
+	if r.ctx.Err() != nil {
+		return 0
+	}
+	return step(b)
+}
+
+// viaStored loops a callee that checks the context it carries — only the
+// interprocedural summary can see that: clean.
+func viaStored(ctx context.Context, batches [][]float64) float64 {
+	r := &runner{ctx: ctx}
+	var last float64
+	for _, b := range batches {
+		last = r.tick(b)
+	}
+	return last
+}
+
+// noCtx has no context parameter, hence no cancellation contract: clean.
+func noCtx(batches [][]float64) float64 {
+	var last float64
+	for _, b := range batches {
+		last = step(b)
+	}
+	return last
+}
+
+// coldLoop holds a context but loops no hot work: clean.
+func coldLoop(ctx context.Context, xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+// Package fixture exercises the detflow analyzer: map-iteration and
+// select-arrival order reaching ordered sinks through calls. Every positive
+// case here is invisible to the intraprocedural mapdet check (the fixture
+// is deliberately mapdet-clean; lint_test asserts that), because source and
+// sink never share a function.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+var audit []string
+
+// record appends into the package-level audit log: its parameter is an
+// ordered sink.
+func record(s string) { audit = append(audit, s) }
+
+// recordVia and recordVia2 only forward: the sink property must propagate
+// through two call hops to reach the leak sites below.
+func recordVia(s string) { recordVia2(s) }
+
+func recordVia2(s string) { record(s) }
+
+// leakThroughCalls hands map keys to a two-hop sink: reported. There is no
+// append, no string build, and no float sum in this function, so mapdet
+// has nothing to see.
+func leakThroughCalls(m map[string]int) {
+	for k := range m {
+		recordVia(k)
+	}
+}
+
+// sortedThenRecorded collects, sorts, then feeds the same sink: clean.
+func sortedThenRecorded(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		recordVia(k)
+	}
+}
+
+// emitDirect prints inside map iteration: reported (output order is the
+// map's iteration order).
+func emitDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// add is the helper-append shape: the caller's accumulation hides from
+// mapdet behind the call.
+func add(dst []string, s string) []string { return append(dst, s) }
+
+// collect builds a map-ordered slice through add: its result is
+// order-tainted per the summary.
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = add(out, k)
+	}
+	return out
+}
+
+// emitCollected prints a tainted result: reported.
+func emitCollected(m map[string]int) {
+	keys := collect(m)
+	fmt.Println(keys)
+}
+
+// emitSorted sorts the tainted result before emitting: clean.
+func emitSorted(m map[string]int) {
+	keys := collect(m)
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+// selectRace emits whichever arrival won the select: reported.
+func selectRace(a, b <-chan string) {
+	var got string
+	select {
+	case s := <-a:
+		got = s
+	case s := <-b:
+		got = s
+	}
+	fmt.Println(got)
+}
+
+// selectSingle has one communication clause, so there is no arrival race:
+// clean.
+func selectSingle(a <-chan string) {
+	var got string
+	select {
+	case s := <-a:
+		got = s
+	}
+	fmt.Println(got)
+}

@@ -1,0 +1,118 @@
+// Package fixture exercises the sharedmutate analyzer: worker-pool
+// goroutines mutating captured or shared state through calls. The writes
+// all happen behind a call hop (bump / touch / (*worker).run), so the
+// intraprocedural gonosync check — which only sees assignments written
+// textually inside the goroutine literal — misses every positive here;
+// lint_test asserts that.
+package fixture
+
+import "sync"
+
+type stats struct {
+	mu   sync.Mutex
+	hits int
+	last string
+}
+
+// bump writes its parameter's fields with no sync token.
+func bump(s *stats, who string) {
+	s.hits++
+	s.last = who
+}
+
+// bumpLocked takes the struct's mutex around the writes: clean.
+func bumpLocked(s *stats, who string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	s.last = who
+}
+
+// touch forwards to bump: the mutation must propagate through the hop.
+func touch(s *stats) { bump(s, "worker") }
+
+// poolShared spawns a pool whose workers all mutate one shared stats via a
+// call chain: reported. gonosync sees no captured write in the literal.
+func poolShared(names []string) *stats {
+	shared := &stats{}
+	var wg sync.WaitGroup
+	for range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			touch(shared)
+		}()
+	}
+	wg.Wait()
+	return shared
+}
+
+type worker struct{ id int }
+
+// run mutates its argument through bump.
+func (w *worker) run(s *stats) { bump(s, "run") }
+
+// poolMethod hands one shared stats to every worker method: reported.
+// There is no function literal at all, so gonosync cannot even look.
+func poolMethod(ws []*worker, done <-chan struct{}) *stats {
+	shared := &stats{}
+	for _, w := range ws {
+		go w.run(shared)
+	}
+	for range ws {
+		<-done
+	}
+	return shared
+}
+
+// lockedPool mutates shared state only through the locked path: clean.
+func lockedPool(names []string) *stats {
+	shared := &stats{}
+	var wg sync.WaitGroup
+	for range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bumpLocked(shared, "w")
+		}()
+	}
+	wg.Wait()
+	return shared
+}
+
+// perWorkerSlot gives each goroutine its own element of the result slice —
+// the sharded ranker's approved shape: clean.
+func perWorkerSlot(ws []*worker) []stats {
+	out := make([]stats, len(ws))
+	var wg sync.WaitGroup
+	wg.Add(len(ws))
+	for i := range ws {
+		go func() {
+			defer wg.Done()
+			out[i].hits++
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// perIterStats builds a fresh stats per iteration, so nothing is shared:
+// clean.
+func perIterStats(names []string) {
+	for range names {
+		s := &stats{}
+		go func() {
+			bump(s, "own")
+		}()
+	}
+}
+
+// soloSpawn runs a single goroutine outside any loop: join discipline is
+// gonosync's territory, there is no pool race: clean here.
+func soloSpawn(s *stats, done chan struct{}) {
+	go func() {
+		bump(s, "solo")
+		close(done)
+	}()
+	<-done
+}

@@ -22,6 +22,20 @@ func multi(a, b float64) bool {
 	return a/b == math.Log(b)
 }
 
+// multiTrailing silences two analyzers with one comma-separated directive
+// in TRAILING position — the regression case for the matcher honoring
+// every name of a trailing list, not just the first.
+func multiTrailing(a, b float64) bool {
+	return a/b == math.Log(b) //lint:ignore floatexact,logguard fixture: trailing multi-analyzer list
+}
+
+// multiSloppy writes the list with a space after the comma; both names are
+// still honored.
+func multiSloppy(a, b float64) bool {
+	//lint:ignore floatexact, logguard fixture: sloppy comma-space list
+	return a/b == math.Log(b)
+}
+
 // malformed omits the mandatory reason: the directive is reported and the
 // finding underneath survives.
 func malformed(x float64) float64 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // JSON dataset format
@@ -88,8 +89,16 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 			return nil, fmt.Errorf("truth: JSON fact %d has no name", i)
 		}
 		f := b.Fact(jf.Name)
-		for src, raw := range jf.Votes {
-			v, err := ParseVote(raw)
+		// Visit votes in sorted source order: a vote naming a source absent
+		// from the "sources" list interns it on first sight, and ID
+		// assignment must not depend on Go's map iteration order.
+		srcs := make([]string, 0, len(jf.Votes))
+		for src := range jf.Votes {
+			srcs = append(srcs, src)
+		}
+		sort.Strings(srcs)
+		for _, src := range srcs {
+			v, err := ParseVote(jf.Votes[src])
 			if err != nil {
 				return nil, fmt.Errorf("truth: JSON fact %q: %w", jf.Name, err)
 			}
