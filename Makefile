@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-invariants vet lint lint-json race check bench bench-smoke fuzz-smoke golden
+.PHONY: all build test test-invariants vet lint lint-json race check bench bench-smoke fuzz-smoke robustness-smoke golden
 
 all: build
 
@@ -91,3 +91,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzIntern -fuzztime=$(FUZZTIME) ./internal/truth
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzScenarioConfig -fuzztime=$(FUZZTIME) ./internal/synth
+
+# robustness-smoke runs the accuracy-under-attack floors on the quick grid
+# (seconds): every registered method plus the decayed/undecayed stream over
+# x% adversarial sources × y batches, with deterministic floors that fail
+# when a change degrades behavior under the attack scenarios (see
+# internal/experiments/robust_test.go and DESIGN.md §14).
+robustness-smoke:
+	$(GO) test -run='TestRobustness|TestColluder|TestMetamorphic' -count=1 ./internal/experiments ./internal/depend ./internal/synth

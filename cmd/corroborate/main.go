@@ -46,6 +46,7 @@ func run() error {
 	stream := flag.String("stream", "", "comma-separated CSV files treated as successive batches of an online corroboration stream")
 	shards := flag.Int("shards", 1, "with -stream: corroborate each batch across this many signature shards (output is identical for any count)")
 	checkpoint := flag.String("checkpoint", "", "with -stream: resume from this checkpoint file if it exists and rewrite it after every batch")
+	decay := flag.Float64("decay", 0, "with -stream: per-batch exponential trust-decay factor in (0,1); evidence k batches old carries weight decay^k (0 or 1 disables)")
 	list := flag.Bool("list", false, "list available methods and exit")
 	trajectory := flag.Bool("trajectory", false, "print the incremental trust trajectory (IncEst* methods)")
 	maxIter := flag.Int("maxiter", 0, "override the method's iteration/round cap (0 runs zero rounds; negative removes the cap)")
@@ -64,6 +65,8 @@ func run() error {
 			opts.Tolerance = corroborate.OptFloat(*tol)
 		case "seed":
 			opts.Seed = corroborate.OptSeed(*seed)
+		case "decay":
+			opts.TrustDecay = corroborate.OptFloat(*decay)
 		}
 	})
 
@@ -81,7 +84,7 @@ func run() error {
 		return nil
 	}
 	if *stream != "" {
-		return runStream(strings.Split(*stream, ","), *shards, *checkpoint)
+		return runStream(strings.Split(*stream, ","), *shards, *checkpoint, opts.TrustDecay)
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in (use -list to see methods)")
@@ -222,7 +225,7 @@ func run() error {
 // A corrupt checkpoint is quarantined to <path>.corrupt and the stream
 // starts fresh. SIGINT/SIGTERM cancel between group decisions; the
 // rejected batch leaves the stream at its last checkpointed boundary.
-func runStream(paths []string, shards int, checkpointPath string) error {
+func runStream(paths []string, shards int, checkpointPath string, decay *float64) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -244,6 +247,28 @@ func runStream(paths []string, shards int, checkpointPath string) error {
 			fmt.Printf("resumed from %s: %d batches, %d facts already corroborated\n",
 				checkpointPath, st.Batches(), len(st.Decided()))
 		}
+	}
+	if decay != nil {
+		// The decay factor is part of a stream's identity and travels in the
+		// checkpoint: a fresh stream takes the flag, a resumed one must agree
+		// with it (1 and 0 are both the normalized "off" value).
+		if st.Batches() > 0 {
+			want := *decay
+			//lint:ignore floatexact 1 is the exact identity-scale sentinel; values near 1 are legitimate slow decay factors
+			if want == 1 {
+				want = 0
+			}
+			//lint:ignore floatexact the checkpoint round-trips the configured factor bit-exactly; any difference is a real configuration conflict
+			if st.TrustDecay() != want {
+				return fmt.Errorf("checkpoint %s carries trust decay %v; -decay %v conflicts (drop the flag or start a fresh stream)",
+					checkpointPath, st.TrustDecay(), *decay)
+			}
+		} else if err := st.SetTrustDecay(*decay); err != nil {
+			return err
+		}
+	}
+	if d := st.TrustDecay(); d != 0 {
+		fmt.Printf("trust decay: %v per batch\n", d)
 	}
 	for _, path := range paths {
 		path = strings.TrimSpace(path)

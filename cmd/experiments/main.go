@@ -37,6 +37,7 @@ func run() error {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	maxIter := flag.Int("maxiter", 0, "override every method's iteration cap (0 runs zero rounds; negative removes the cap)")
 	tol := flag.Float64("tol", 0, "override every iterative method's convergence tolerance (0 demands an exact fixpoint)")
+	robustJSON := flag.String("robustness-json", "", "write the machine-readable robustness grid (accuracy under attack) to this file ('-' for stdout) and exit")
 	flag.Parse()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -53,6 +54,9 @@ func run() error {
 			opts.Tolerance = engine.Float64(*tol)
 		}
 	})
+	if *robustJSON != "" {
+		return writeRobustnessJSON(opts, *robustJSON)
+	}
 	runners := experiments.Runners()
 	if *name != "" {
 		r, ok := experiments.ByName(*name)
@@ -75,6 +79,30 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+func writeRobustnessJSON(opts experiments.Options, path string) (err error) {
+	rep, err := experiments.RobustnessGrid(opts)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "robustness grid written to", path)
 	return nil
 }
 

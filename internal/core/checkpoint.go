@@ -52,9 +52,13 @@ type checkpointState struct {
 	Config checkpointConfig `json:"config"`
 	// DefaultTrust is the σ0(S) the trust state was initialized with; it
 	// only matters once the stream has seen a batch.
-	DefaultTrust float64            `json:"default_trust,omitempty"`
-	Sources      []checkpointSource `json:"sources,omitempty"`
-	Decided      []checkpointFact   `json:"decided,omitempty"`
+	DefaultTrust float64 `json:"default_trust,omitempty"`
+	// TrustDecay is the per-batch decay factor λ; absent (0) means the
+	// stream runs without decay, which keeps pre-decay checkpoints and
+	// decay-disabled checkpoints byte-identical.
+	TrustDecay float64            `json:"trust_decay,omitempty"`
+	Sources    []checkpointSource `json:"sources,omitempty"`
+	Decided    []checkpointFact   `json:"decided,omitempty"`
 }
 
 type checkpointConfig struct {
@@ -83,6 +87,10 @@ type checkpointSource struct {
 	NameB64 string  `json:"name_b64,omitempty"`
 	Credit  float64 `json:"credit"`
 	Count   int     `json:"count"`
+	// CountF is the decayed (fractional) evaluation mass, present exactly
+	// when the stream runs with trust decay; Count stays the undecayed
+	// integer tally either way.
+	CountF float64 `json:"count_f,omitempty"`
 }
 
 type checkpointFact struct {
@@ -151,17 +159,22 @@ func (st *Stream) encodeLocked() ([]byte, error) {
 	if st.initDone {
 		cs.DefaultTrust = st.state.defaultTrust
 	}
+	cs.TrustDecay = st.decay
 	// Sources are emitted in symbol-table ID order: the interning order
 	// defines vote signatures, so preserving it is what lets the restored
 	// stream continue byte-identically.
 	for i := 0; i < st.symtab.Len(); i++ {
 		plain, b64 := encodeName(st.symtab.Name(uint32(i)))
-		cs.Sources = append(cs.Sources, checkpointSource{
+		src := checkpointSource{
 			Name:    plain,
 			NameB64: b64,
 			Credit:  st.state.credit[i],
 			Count:   st.state.count[i],
-		})
+		}
+		if st.state.fcount != nil {
+			src.CountF = st.state.fcount[i]
+		}
+		cs.Sources = append(cs.Sources, src)
 	}
 	for _, sf := range st.decided {
 		plain, b64 := encodeName(sf.Name)
@@ -239,8 +252,12 @@ func restoreInto(st *Stream, r io.Reader) error {
 		AnchoredTrust: cs.Config.AnchoredTrust,
 		DeferBand:     cs.Config.DeferBand,
 	}
+	st.decay = cs.TrustDecay
 	if len(cs.Sources) > 0 {
 		st.state = newTrustState(len(cs.Sources), cs.DefaultTrust)
+		if st.decay != 0 {
+			st.state.enableDecay(st.decay)
+		}
 		st.initDone = true
 		// Re-intern onto the fresh symbol table in checkpoint order; the
 		// assigned IDs are dense and sequential because validate() already
@@ -249,6 +266,9 @@ func restoreInto(st *Stream, r io.Reader) error {
 			st.symtab.Intern(src.Name)
 			st.state.credit[i] = src.Credit
 			st.state.count[i] = src.Count
+			if st.state.fcount != nil {
+				st.state.fcount[i] = src.CountF
+			}
 		}
 	}
 	for _, cf := range cs.Decided {
@@ -313,6 +333,13 @@ func (cs *checkpointState) validate() error {
 	if len(cs.Sources) > 0 && bad01(cs.DefaultTrust) {
 		return fmt.Errorf("default trust %v out of [0, 1]", cs.DefaultTrust)
 	}
+	// A recorded decay factor must be a genuine λ ∈ (0, 1): SetTrustDecay
+	// normalizes both off switches (0 and 1) to an absent field, so a
+	// checkpoint carrying 1, a negative, or NaN was never written by this
+	// encoder.
+	if cs.TrustDecay != 0 && (bad01(cs.TrustDecay) || cs.TrustDecay <= 0 || cs.TrustDecay >= 1) {
+		return fmt.Errorf("trust decay %v outside (0, 1)", cs.TrustDecay)
+	}
 	seen := make(map[string]bool, len(cs.Sources))
 	for i, src := range cs.Sources {
 		// Decode the canonical name pair and normalize in place: after a
@@ -333,8 +360,24 @@ func (cs *checkpointState) validate() error {
 		if src.Count < 1 {
 			return fmt.Errorf("source %d (%q) has count %d < 1", i, src.Name, src.Count)
 		}
-		if math.IsNaN(src.Credit) || src.Credit < 0 || src.Credit > float64(src.Count) {
-			return fmt.Errorf("source %d (%q) has credit %v outside [0, %d]", i, src.Name, src.Credit, src.Count)
+		// The credit bound depends on the decay mode: without decay the
+		// evaluation mass is the integer count; with decay both credit and
+		// mass shrink by the same λ each batch (rounding is monotone, so
+		// credit ≤ mass survives every scale and absorb exactly).
+		bound := float64(src.Count)
+		if cs.TrustDecay != 0 {
+			// Zero mass is legal: λ^k underflows after enough batches, and
+			// the trust falls back to the default exactly as a live stream's
+			// would.
+			if math.IsNaN(src.CountF) || src.CountF < 0 || src.CountF > float64(src.Count) {
+				return fmt.Errorf("source %d (%q) has decayed mass %v outside [0, %d]", i, src.Name, src.CountF, src.Count)
+			}
+			bound = src.CountF
+		} else if src.CountF != 0 {
+			return fmt.Errorf("source %d (%q) carries decayed mass %v but the stream has no trust decay", i, src.Name, src.CountF)
+		}
+		if math.IsNaN(src.Credit) || src.Credit < 0 || src.Credit > bound {
+			return fmt.Errorf("source %d (%q) has credit %v outside [0, %v]", i, src.Name, src.Credit, bound)
 		}
 	}
 	if (len(cs.Sources) == 0) != (len(cs.Decided) == 0) {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -62,6 +63,11 @@ type Stream struct {
 	// decided accumulates every fact this stream has corroborated.
 	decided []StreamFact
 
+	// decay is the per-batch trust-decay factor λ; 0 means disabled (the
+	// default, and bit-identical to the pre-decay engine). See
+	// SetTrustDecay.
+	decay float64
+
 	// panics is the fault-injection hook for the robustness battery; nil
 	// (the default) costs one pointer check per decided group.
 	panics *fault.Panics
@@ -116,6 +122,46 @@ type BatchVote struct {
 // NewStream returns an empty stream using the scale profile.
 func NewStream() *Stream {
 	return &Stream{Config: *NewScale(), symtab: truth.NewInterner()}
+}
+
+// SetTrustDecay enables exponential trust decay with per-batch factor
+// lambda: before each batch's outcomes are absorbed, every source's
+// accumulated credit and evaluation mass are scaled by lambda, so evidence
+// from k batches ago carries weight lambda^k and a drifting source's stale
+// reputation washes out instead of dominating forever. Because credit and
+// mass scale together, decay never changes the decisions of the batch it
+// ages past — only the weight of history against the next batch — which
+// keeps decisions a pure function of (votes, batch-entry trust) and
+// preserves the sharding and rollback contracts unchanged.
+//
+// lambda must lie in [0, 1]: values in (0, 1) enable decay, while 0 and 1
+// both mean "no decay" (1 is the identity scale; 0 is the conventional
+// off switch) and leave the stream bit-identical to the pre-decay engine.
+// The factor is part of the stream's identity — it must be configured
+// before the first batch and is recorded in checkpoints, so a restored
+// stream continues with the decay it was built with.
+func (st *Stream) SetTrustDecay(lambda float64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if math.IsNaN(lambda) || lambda < 0 || lambda > 1 {
+		return fmt.Errorf("core: trust decay %v out of [0, 1]", lambda)
+	}
+	if st.initDone {
+		return fmt.Errorf("core: trust decay must be configured before the first batch")
+	}
+	//lint:ignore floatexact 1 is the exact identity-scale sentinel; values near 1 are legitimate slow decay factors and must not be swallowed
+	if lambda == 1 {
+		lambda = 0 // identity scale: normalize to the canonical off value
+	}
+	st.decay = lambda
+	return nil
+}
+
+// TrustDecay reports the configured per-batch decay factor, 0 if disabled.
+func (st *Stream) TrustDecay() float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.decay
 }
 
 // Trust returns the current trust of every source seen so far, keyed by
@@ -249,12 +295,18 @@ func (st *Stream) addBatchLocked(ctx context.Context, votes []BatchVote, shards 
 	}
 	if !st.initDone {
 		st.state = newTrustState(0, init)
+		if st.decay != 0 {
+			st.state.enableDecay(st.decay)
+		}
 		st.initDone = true
 	}
 	// Grow the trust state for newly seen sources.
 	for len(st.state.credit) < st.symtab.Len() {
 		st.state.credit = append(st.state.credit, 0)
 		st.state.count = append(st.state.count, 0)
+		if st.state.fcount != nil {
+			st.state.fcount = append(st.state.fcount, 0)
+		}
 	}
 
 	groups := buildGroups(d)
@@ -272,6 +324,13 @@ func (st *Stream) addBatchLocked(ctx context.Context, votes []BatchVote, shards 
 		}
 		return nil, err
 	}
+
+	// Past the point of no return: age prior batches' evidence before this
+	// batch's outcomes are absorbed. Decay scales credit and mass together,
+	// so the trust the groups were decided under is unchanged — it only
+	// rebalances history against the absorption below — and running it
+	// after the rollback window keeps batch rejection a pure truncation.
+	st.state.applyDecay()
 
 	// Order: confident negatives first, then positives by size — one
 	// macro time point of the scale profile over the batch's groups. The
@@ -365,4 +424,7 @@ func (st *Stream) rollbackBatch(preSources int, preInit bool) {
 	}
 	st.state.credit = st.state.credit[:preSources]
 	st.state.count = st.state.count[:preSources]
+	if st.state.fcount != nil {
+		st.state.fcount = st.state.fcount[:preSources]
+	}
 }

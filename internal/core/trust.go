@@ -16,6 +16,18 @@ type trustState struct {
 	credit       []float64
 	count        []int
 
+	// Decay, when enabled, ages prior evidence geometrically: before a new
+	// batch is absorbed, every source's credit and evaluation mass are
+	// scaled by λ = decay, so a fact absorbed k batches ago carries weight
+	// λ^k. Scaling credit and mass by the same factor preserves every
+	// credit/mass ratio, so decay never changes the decisions of the batch
+	// that triggers it — only how fast old batches stop dominating. fcount
+	// is the decayed (fractional) evaluation mass and is non-nil exactly
+	// when decay is enabled; the int count path stays untouched otherwise,
+	// keeping decay-disabled streams bit-identical to the pre-decay engine.
+	decay  float64
+	fcount []float64
+
 	// Anchors, when non-nil, blend the undecided mass into the trust (the
 	// AnchoredTrust option): each source's still-unevaluated facts
 	// contribute their lagged corroborated probability as soft credit.
@@ -28,6 +40,32 @@ func newTrustState(sources int, defaultTrust float64) *trustState {
 		defaultTrust: defaultTrust,
 		credit:       make([]float64, sources),
 		count:        make([]int, sources),
+	}
+}
+
+// enableDecay switches the state to decayed-evidence mode with the given
+// per-batch factor λ ∈ (0, 1), seeding the fractional mass from whatever
+// integer counts have accumulated so far.
+func (t *trustState) enableDecay(lambda float64) {
+	t.decay = lambda
+	t.fcount = make([]float64, len(t.count))
+	for s, c := range t.count {
+		t.fcount[s] = float64(c)
+	}
+}
+
+// applyDecay scales every source's accumulated evidence by λ, called once
+// per batch boundary. Credit and mass shrink by the same factor, so the
+// trust vector read immediately after applyDecay is identical to the one
+// read immediately before — the aging only shifts how much weight the NEXT
+// absorption carries relative to history.
+func (t *trustState) applyDecay() {
+	if t.fcount == nil {
+		return
+	}
+	for s := range t.credit {
+		t.credit[s] *= t.decay
+		t.fcount[s] *= t.decay
 	}
 }
 
@@ -46,6 +84,9 @@ func (t *trustState) setAnchors(s int, credit, count float64) {
 // trust returns source s's current trust value σi(s).
 func (t *trustState) trust(s int) float64 {
 	credit, count := t.credit[s], float64(t.count[s])
+	if t.fcount != nil {
+		count = t.fcount[s]
+	}
 	if t.anchorCredit != nil {
 		credit += t.anchorCredit[s]
 		count += t.anchorCount[s]
@@ -81,6 +122,9 @@ func (t *trustState) absorb(votes []truth.SourceVote, normProb float64, count in
 	for _, sv := range votes {
 		t.credit[sv.Source] += float64(count) * score.SourceCredit(sv.Vote, normProb)
 		t.count[sv.Source] += count
+		if t.fcount != nil {
+			t.fcount[sv.Source] += float64(count)
+		}
 	}
 }
 
@@ -90,6 +134,10 @@ func (t *trustState) clone() *trustState {
 		defaultTrust: t.defaultTrust,
 		credit:       append([]float64(nil), t.credit...),
 		count:        append([]int(nil), t.count...),
+		decay:        t.decay,
+	}
+	if t.fcount != nil {
+		c.fcount = append([]float64(nil), t.fcount...)
 	}
 	if t.anchorCredit != nil {
 		c.anchorCredit = append([]float64(nil), t.anchorCredit...)
@@ -121,6 +169,9 @@ func (t *trustState) projectInto(votes []truth.SourceVote, normProb float64, cou
 	for _, sv := range votes {
 		credit := t.credit[sv.Source] + float64(count)*score.SourceCredit(sv.Vote, normProb)
 		n := float64(t.count[sv.Source] + count)
+		if t.fcount != nil {
+			n = t.fcount[sv.Source] + float64(count)
+		}
 		if t.anchorCredit != nil {
 			credit += t.anchorCredit[sv.Source]
 			n += t.anchorCount[sv.Source]

@@ -26,6 +26,13 @@ type Options struct {
 	// Seed overrides the RNG seed of seeded methods, so one -seed value
 	// reproduces every randomized run.
 	Seed *int64
+	// TrustDecay sets the per-batch exponential trust-decay factor λ of
+	// streaming runs: evidence absorbed k batches ago carries weight λ^k,
+	// so a drifting source's stale reputation washes out. Offline (single
+	// dataset) methods ignore it — there is only one time point to decay
+	// across. nil and explicit 0 (or 1) both mean no decay, the pre-decay
+	// byte-identical behaviour.
+	TrustDecay *float64
 	// Observer, when non-nil, is invoked once per completed round.
 	Observer Observer
 }
@@ -73,6 +80,8 @@ type Config struct {
 	CheckTolerance bool
 	// Seed is the resolved RNG seed.
 	Seed int64
+	// TrustDecay is the resolved streaming decay factor; 0 means disabled.
+	TrustDecay float64
 	// Observer is dispatched by the driver after every round (may be nil).
 	Observer Observer
 }
@@ -108,6 +117,9 @@ func (o Options) Resolve(ctx context.Context, def Defaults) Config {
 	}
 	if o.Seed != nil {
 		cfg.Seed = *o.Seed
+	}
+	if o.TrustDecay != nil {
+		cfg.TrustDecay = *o.TrustDecay
 	}
 	return cfg
 }

@@ -752,6 +752,7 @@ func Runners() []Runner {
 		{"extended", Extended},
 		{"seeds", Seeds},
 		{"ablation", Ablation},
+		{"robustness", Robustness},
 	}
 }
 

@@ -1,0 +1,72 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzScenarioConfig: arbitrary bytes must either be rejected with a clean
+// error or decode into a config that (a) revalidates, (b) generates a
+// scenario without panicking, and (c) never smuggles NaN/Inf/out-of-range
+// parameters past the decoder. Run the seeds with plain `go test`; use
+// `go test -run='^$' -fuzz=FuzzScenarioConfig ./internal/synth` for
+// open-ended fuzzing (make fuzz-smoke does a bounded pass).
+func FuzzScenarioConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"batches": 3, "facts_per_batch": 20, "honest_sources": 4, "seed": 7}`))
+	f.Add([]byte(`{"blocs": [{"label": "x", "sources": 2, "strength": 0.4, "camouflage": 0.1}]}`))
+	f.Add([]byte(`{"copiers": [{"leader": 1, "count": 2, "noise": 0.25}]}`))
+	f.Add([]byte(`{"drift": {"decay_sources": 1, "decay": 0.5, "flip_sources": 1, "flip_at": 2}}`))
+	f.Add([]byte(`{"churn_rate": 0.3, "truth_rate": 0.6, "coverage": 0.8}`))
+	f.Add([]byte(`{"truth_rate": 1e999}`))
+	f.Add([]byte(`{"batches": -1}`))
+	f.Add([]byte(`{"copiers": [{"leader": 4096}]}`))
+	f.Add([]byte(`{"drift": {"decay_sources": 99, "decay": 0.5}}`))
+	f.Add([]byte(`{} {}`))
+	f.Add([]byte(`[{"sources": 1}]`))
+	f.Add([]byte("\x00"))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseScenarioConfig(data)
+		if err != nil {
+			return // rejected input may fail, but must not panic
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails revalidation: %v\nconfig: %+v", err, cfg)
+		}
+		for name, v := range map[string]float64{
+			"truth_rate": cfg.TruthRate, "coverage": cfg.Coverage, "churn_rate": cfg.ChurnRate,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+				t.Fatalf("decoder let %s = %v through", name, v)
+			}
+		}
+		if cfg.Batches < 0 || cfg.FactsPerBatch < 0 || cfg.HonestSources < 0 {
+			t.Fatalf("decoder let negative sizes through: %+v", cfg)
+		}
+		// Generation on an accepted config must not panic. Cap the volume so
+		// the fuzzer does not spend its budget on giant worlds.
+		if cfg.Batches > 4 {
+			cfg.Batches = 4
+		}
+		if cfg.FactsPerBatch > 64 {
+			cfg.FactsPerBatch = 64
+		}
+		if cfg.HonestSources > 32 {
+			cfg.HonestSources = 32
+		}
+		// Shrinking the honest roster can orphan copier leaders or oversubscribe
+		// drift; those configs must error cleanly, not panic.
+		w, err := GenerateScenario(cfg)
+		if err != nil {
+			return
+		}
+		if len(w.Batches) == 0 && cfg.Batches != 0 {
+			t.Fatalf("generator dropped batches: %+v", cfg)
+		}
+		if err := w.Dataset().Validate(); err != nil {
+			t.Fatalf("generated dataset invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package corroborate_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"corroborate/internal/experiments"
+)
+
+// TestREADMERobustnessTable keeps the README's generated
+// accuracy-under-attack table in lockstep with the quick robustness grid:
+// the markers delimit exactly what RobustnessMarkdown renders. The grid is
+// seeded, so a mismatch means behavior changed — regenerate with
+// `go run ./cmd/experiments -run robustness -quick` and review the diff
+// before pasting.
+func TestREADMERobustnessTable(t *testing.T) {
+	const (
+		begin = "<!-- robustness:begin -->"
+		end   = "<!-- robustness:end -->"
+	)
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+	want, err := experiments.RobustnessMarkdown(experiments.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(readme[i+len(begin) : j])
+	if got != strings.TrimSpace(want) {
+		t.Errorf("README robustness table is out of sync with the quick grid.\n--- README ---\n%s\n--- RobustnessMarkdown() ---\n%s\nPaste the generated table between the markers.", got, want)
+	}
+}

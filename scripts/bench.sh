@@ -9,30 +9,45 @@
 # BENCH_(N-1).json — the previous trajectory point this run is read
 # against — plus the standing comparison caveats in "notes".
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_2.json)
+# A BENCH_N.json output with N >= 3 additionally embeds the "robustness"
+# grid — per-method accuracy under x% adversarial sources × y batches from
+# cmd/experiments -robustness-json — so the robustness frontier is tracked
+# alongside latency. ROBUSTNESS=0 skips it.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_3.json)
 #        BENCHTIME=2s scripts/bench.sh    to change -benchtime
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_2.json}
+OUT=${1:-BENCH_3.json}
 BENCHTIME=${BENCHTIME:-1s}
 DELTA_VS=""
+ROBUST=""
 case "$OUT" in
 BENCH_*.json)
 	n=${OUT#BENCH_}
 	n=${n%.json}
 	case "$n" in
 	*[!0-9]*) ;;
-	*) [ "$n" -ge 2 ] && DELTA_VS="BENCH_$((n - 1)).json" ;;
+	*)
+		[ "$n" -ge 2 ] && DELTA_VS="BENCH_$((n - 1)).json"
+		[ "$n" -ge 3 ] && [ "${ROBUSTNESS:-1}" != 0 ] && ROBUST=1
+		;;
 	esac
 	;;
 esac
 PKGS="./internal/core ./internal/score ./internal/entropy ./internal/truth"
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+GRID=$(mktemp)
+trap 'rm -f "$RAW" "$GRID"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
+
+if [ -n "$ROBUST" ]; then
+	echo "running robustness grid (accuracy under attack)..."
+	go run ./cmd/experiments -robustness-json "$GRID"
+fi
 
 {
 	echo '{'
@@ -42,6 +57,10 @@ go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
 	if [ -n "$DELTA_VS" ]; then
 		printf '  "delta_vs": "%s",\n' "$DELTA_VS"
 		echo '  "notes": "IncEstimateLarge was reshaped after BENCH_1: its headline IncEstHeu/50000 and IncEstScale/50000 now run a crawl-shaped world (2000 sources, 1000 patterns; each source backs ~2 patterns), while BENCH_1 ran them on the 120-source dense world, preserved as IncEstHeuDense/50000. Compare the headline runs against BENCH_1 IncEstHeu/50000 for the large-world-cliff trajectory and IncEstHeuDense for the same-world delta. The 200k runs (4000 sources, 2000 patterns) are new at BENCH_2.",'
+	fi
+	if [ -n "$ROBUST" ]; then
+		printf '  "robustness": '
+		sed -e '1!s/^/  /' "$GRID" | sed -e '$s/$/,/'
 	fi
 	echo '  "baseline_note": "pre-engine seed (see scripts/baseline_seed.txt)",'
 	echo '  "baseline": {'
