@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test test-invariants vet lint lint-json race check bench bench-smoke fuzz-smoke robustness-smoke golden
+.PHONY: all build test test-invariants vet lint lint-json race check bench bench-smoke fuzz-smoke robustness-smoke daemon-smoke golden
 
 all: build
 
@@ -45,11 +45,12 @@ lint-json:
 # The race target covers internal/core — the parallel ∆H ranker, the sharded
 # stream's worker pool, and the fault-injection suite (worker panics,
 # mid-batch cancellation, filesystem faults) — plus internal/fault itself,
-# the engine runtime, and the root package's per-method observer and
-# mid-run-cancellation tests; the equivalence and differential tests force
-# the concurrent paths even on one CPU.
+# the engine runtime, the serving layer's admission/drain/soak battery,
+# and the root package's per-method observer and mid-run-cancellation
+# tests; the equivalence and differential tests force the concurrent paths
+# even on one CPU.
 race:
-	$(GO) test -race ./internal/core/... ./internal/fault/... ./internal/engine/...
+	$(GO) test -race ./internal/core/... ./internal/fault/... ./internal/engine/... ./internal/serve/...
 	$(GO) test -race -run 'TestObserverRoundCount|TestCancellationPerMethod|TestPreCancelledContext' .
 	# The lazy-PQ ranking suite once more with -count=2: the second run
 	# re-ranks through warm pair/key caches, racing the cache maintenance
@@ -100,3 +101,11 @@ fuzz-smoke:
 # internal/experiments/robust_test.go and DESIGN.md §14).
 robustness-smoke:
 	$(GO) test -run='TestRobustness|TestColluder|TestMetamorphic' -count=1 ./internal/experiments ./internal/depend ./internal/synth
+
+# daemon-smoke boots the real corrod binary on an ephemeral port, bursts a
+# seeded loadgen scenario through the admission queue, SIGTERMs it, and
+# asserts the restart resumes exactly the acknowledged state with clean
+# exit codes throughout — the serving lifecycle of DESIGN.md §15 rehearsed
+# end to end (see scripts/daemon_smoke.sh).
+daemon-smoke:
+	sh scripts/daemon_smoke.sh

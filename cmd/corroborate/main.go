@@ -29,35 +29,38 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "corroborate:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	method := flag.String("method", "IncEstScale", "corroboration method (see -list)")
-	in := flag.String("in", "", "input dataset (CSV, or JSON with -format json)")
-	format := flag.String("format", "csv", "input format: csv or json")
-	out := flag.String("out", "", "optional output CSV of per-fact results")
-	jsonOut := flag.String("json", "", "optional output JSON of the full result")
-	compare := flag.String("compare", "", "second method: evaluate both and report the significance of the accuracy gap")
-	auditK := flag.Int("audit", 0, "plan this many in-person checks from the result (entropy-driven)")
-	stream := flag.String("stream", "", "comma-separated CSV files treated as successive batches of an online corroboration stream")
-	shards := flag.Int("shards", 1, "with -stream: corroborate each batch across this many signature shards (output is identical for any count)")
-	checkpoint := flag.String("checkpoint", "", "with -stream: resume from this checkpoint file if it exists and rewrite it after every batch")
-	decay := flag.Float64("decay", 0, "with -stream: per-batch exponential trust-decay factor in (0,1); evidence k batches old carries weight decay^k (0 or 1 disables)")
-	list := flag.Bool("list", false, "list available methods and exit")
-	trajectory := flag.Bool("trajectory", false, "print the incremental trust trajectory (IncEst* methods)")
-	maxIter := flag.Int("maxiter", 0, "override the method's iteration/round cap (0 runs zero rounds; negative removes the cap)")
-	tol := flag.Float64("tol", 0, "override the method's convergence tolerance (0 demands an exact fixpoint)")
-	seed := flag.Int64("seed", 0, "override the RNG seed of seeded methods")
-	flag.Parse()
+func run(args []string) error {
+	flags := flag.NewFlagSet("corroborate", flag.ContinueOnError)
+	method := flags.String("method", "IncEstScale", "corroboration method (see -list)")
+	in := flags.String("in", "", "input dataset (CSV, or JSON with -format json)")
+	format := flags.String("format", "csv", "input format: csv or json")
+	out := flags.String("out", "", "optional output CSV of per-fact results")
+	jsonOut := flags.String("json", "", "optional output JSON of the full result")
+	compare := flags.String("compare", "", "second method: evaluate both and report the significance of the accuracy gap")
+	auditK := flags.Int("audit", 0, "plan this many in-person checks from the result (entropy-driven)")
+	stream := flags.String("stream", "", "comma-separated CSV files treated as successive batches of an online corroboration stream")
+	shards := flags.Int("shards", 1, "with -stream: corroborate each batch across this many signature shards (output is identical for any count)")
+	checkpoint := flags.String("checkpoint", "", "with -stream: resume from this checkpoint file if it exists and rewrite it after every batch")
+	decay := flags.Float64("decay", 0, "with -stream: per-batch exponential trust-decay factor in (0,1); evidence k batches old carries weight decay^k (0 or 1 disables)")
+	list := flags.Bool("list", false, "list available methods and exit")
+	trajectory := flags.Bool("trajectory", false, "print the incremental trust trajectory (IncEst* methods)")
+	maxIter := flags.Int("maxiter", 0, "override the method's iteration/round cap (0 runs zero rounds; negative removes the cap)")
+	tol := flags.Float64("tol", 0, "override the method's convergence tolerance (0 demands an exact fixpoint)")
+	seed := flags.Int64("seed", 0, "override the RNG seed of seeded methods")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
 
 	// Pointer options distinguish an explicitly passed zero from an unset
 	// flag, so only flags the user actually set override the defaults.
 	var opts corroborate.RunOptions
-	flag.Visit(func(f *flag.Flag) {
+	flags.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "maxiter":
 			opts.MaxIter = corroborate.OptInt(*maxIter)
@@ -69,6 +72,14 @@ func run() error {
 			opts.TrustDecay = corroborate.OptFloat(*decay)
 		}
 	})
+	// Validate the decay factor here, at flag-parse time: letting an
+	// out-of-range λ ride into the stream meant the run died batches deep
+	// (or, on a resumed checkpoint, with a misleading "conflict" error)
+	// instead of before any file was touched. The comparison is written to
+	// also reject NaN.
+	if opts.TrustDecay != nil && !(*decay >= 0 && *decay <= 1) {
+		return fmt.Errorf("-decay %v out of range: the per-batch trust-decay factor must be in [0,1] (0 or 1 disables decay)", *decay)
+	}
 
 	if *list {
 		mark := func(v bool) byte {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDecayFlagValidatedAtParseTime is the regression test for the -decay
+// range check: an out-of-range λ used to ride into the stream and only
+// blow up batches deep (or as a misleading checkpoint-conflict error on
+// resume). It must now fail during flag validation, before any input file
+// or checkpoint is touched.
+func TestDecayFlagValidatedAtParseTime(t *testing.T) {
+	dir := t.TempDir()
+	checkpoint := filepath.Join(dir, "checkpoint.json")
+	for _, bad := range []string{"-0.1", "1.0001", "2", "NaN", "-1e300"} {
+		// The stream file deliberately does not exist: if validation ran
+		// any later, the error would be about opening the file instead.
+		err := run([]string{"-decay", bad, "-stream", filepath.Join(dir, "missing.csv"), "-checkpoint", checkpoint})
+		if err == nil {
+			t.Fatalf("-decay %s accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "out of range") || !strings.Contains(err.Error(), "[0,1]") {
+			t.Fatalf("-decay %s: error %q does not explain the valid range", bad, err)
+		}
+		if _, statErr := os.Stat(checkpoint); !os.IsNotExist(statErr) {
+			t.Fatalf("-decay %s: checkpoint file was touched before validation", bad)
+		}
+	}
+
+	// The same out-of-range value must be refused on the batch path too:
+	// it would otherwise flow into RunOptions and fail mid-run.
+	err := run([]string{"-decay", "1.5", "-in", filepath.Join(dir, "missing.csv")})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("batch-mode -decay 1.5: %v", err)
+	}
+}
+
+func TestDecayFlagBoundaryValuesAccepted(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "batch.csv")
+	if err := os.WriteFile(csv, []byte("fact,s1,s2\nf1,T,T\nf2,T,F\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 0 and 1 are the documented "disable" values; 0.9 is a legitimate
+	// slow decay. All three must run the stream to completion.
+	for _, ok := range []string{"0", "1", "0.9"} {
+		if err := run([]string{"-decay", ok, "-stream", csv}); err != nil {
+			t.Fatalf("-decay %s: %v", ok, err)
+		}
+	}
+}

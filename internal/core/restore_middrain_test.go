@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// middrainWorld builds a deterministic six-batch world — enough batches
+// that a checkpoint can land at every "partially drained" cut point.
+func middrainWorld(t *testing.T) [][]BatchVote {
+	t.Helper()
+	d := randomDataset(57, 7, 180)
+	return splitByFact(d, 6)
+}
+
+// uninterruptedCheckpoint is the oracle: a fresh stream fed all batches in
+// one run, serialized once at the end.
+func uninterruptedCheckpoint(t *testing.T, shards int, batches [][]BatchVote) []byte {
+	t.Helper()
+	ss := NewShardedStream(shards)
+	feed(t, ss, batches)
+	var buf bytes.Buffer
+	if err := ss.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestoreStreamMidDrainByteIdentity: a drain interrupted after any
+// partial batch flush leaves a checkpoint holding a strict prefix of the
+// stream. Restoring that checkpoint and feeding the remaining batches must
+// reproduce the uninterrupted run byte-for-byte — resume is a perfect
+// continuation, at every possible cut point.
+func TestRestoreStreamMidDrainByteIdentity(t *testing.T) {
+	batches := middrainWorld(t)
+	want := uninterruptedCheckpoint(t, 1, batches)
+
+	for cut := 1; cut < len(batches); cut++ {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			// The interrupted run: cut batches flushed, checkpoint written,
+			// process dies.
+			first := NewStream()
+			feed(t, first, batches[:cut])
+			var mid bytes.Buffer
+			if err := first.Checkpoint(&mid); err != nil {
+				t.Fatal(err)
+			}
+
+			// Restart from the mid-drain checkpoint and finish the stream.
+			resumed, err := RestoreStream(bytes.NewReader(mid.Bytes()))
+			if err != nil {
+				t.Fatalf("restoring mid-drain checkpoint: %v", err)
+			}
+			if got := resumed.Batches(); got != cut {
+				t.Fatalf("resumed at batch %d, checkpoint held %d", got, cut)
+			}
+			feed(t, resumed, batches[cut:])
+
+			var got bytes.Buffer
+			if err := resumed.Checkpoint(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("resume from cut %d diverges from the uninterrupted run", cut)
+			}
+		})
+	}
+}
+
+// TestRestoreShardedStreamMidDrainByteIdentity: the same contract through
+// RestoreShardedStream, including resuming with a DIFFERENT shard count
+// than the interrupted run used — the checkpoint envelope is shard-layout
+// free, so drain, re-shard, and resume must all commute.
+func TestRestoreShardedStreamMidDrainByteIdentity(t *testing.T) {
+	batches := middrainWorld(t)
+	want := uninterruptedCheckpoint(t, 1, batches)
+
+	for _, tc := range []struct{ before, after int }{
+		{1, 4}, {4, 1}, {3, 3}, {2, 5},
+	} {
+		for cut := 1; cut < len(batches); cut += 2 {
+			name := fmt.Sprintf("shards=%d-%d/cut=%d", tc.before, tc.after, cut)
+			t.Run(name, func(t *testing.T) {
+				first := NewShardedStream(tc.before)
+				feed(t, first, batches[:cut])
+				var mid bytes.Buffer
+				if err := first.Checkpoint(&mid); err != nil {
+					t.Fatal(err)
+				}
+
+				resumed, err := RestoreShardedStream(bytes.NewReader(mid.Bytes()), tc.after)
+				if err != nil {
+					t.Fatalf("restoring mid-drain checkpoint: %v", err)
+				}
+				if got := resumed.Batches(); got != cut {
+					t.Fatalf("resumed at batch %d, checkpoint held %d", got, cut)
+				}
+				feed(t, resumed, batches[cut:])
+
+				var got bytes.Buffer
+				if err := resumed.Checkpoint(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Fatalf("resume (%d->%d shards, cut %d) diverges from the uninterrupted run", tc.before, tc.after, cut)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"corroborate/internal/fault"
+)
+
+// These tests pin the sink's DEFAULT backoff schedule — the one production
+// runs with when no field is set — through the injectable Sleeper. The
+// existing transient-fault battery exercises custom delays; here the exact
+// default sequence, the cap, and the give-up contract are the assertions.
+
+// TestSinkDefaultBackoffSchedule: with every optional field zero, a
+// persistently failing save sleeps exactly 10ms, 20ms, 40ms (3 retries
+// after the first attempt) and then gives up with an error naming all 4
+// attempts.
+func TestSinkDefaultBackoffSchedule(t *testing.T) {
+	batches, _ := sinkWorld(t)
+	st := NewShardedStream(3)
+	feed(t, st, batches[:1])
+
+	ifs := fault.NewInjectFS(fault.OS(), 1)
+	ifs.FailSyncs(1 << 30) // every fsync fails: the save can never land
+	rec := fault.NewRecorder()
+	sink := &CheckpointSink{Path: filepath.Join(t.TempDir(), "state.json"), FS: ifs, Sleeper: rec}
+
+	err := sink.Save(st)
+	if err == nil {
+		t.Fatal("Save succeeded under a permanently failing fsync")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("give-up error hides the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 4 attempts") {
+		t.Fatalf("give-up error %q does not report the attempt count", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	got := rec.Slept()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full schedule %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestSinkBackoffCapsAtMaxDelay: with enough retries the doubling schedule
+// must flatten at the 500ms default cap, not grow without bound.
+func TestSinkBackoffCapsAtMaxDelay(t *testing.T) {
+	batches, _ := sinkWorld(t)
+	st := NewShardedStream(3)
+	feed(t, st, batches[:1])
+
+	ifs := fault.NewInjectFS(fault.OS(), 1)
+	ifs.FailSyncs(1 << 30)
+	rec := fault.NewRecorder()
+	sink := &CheckpointSink{
+		Path: filepath.Join(t.TempDir(), "state.json"),
+		FS:   ifs, Sleeper: rec, MaxRetries: 8,
+	}
+
+	if err := sink.Save(st); err == nil {
+		t.Fatal("Save succeeded under a permanently failing fsync")
+	}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond,
+		500 * time.Millisecond, 500 * time.Millisecond,
+	}
+	got := rec.Slept()
+	if len(got) != len(want) {
+		t.Fatalf("slept %d delays %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full schedule %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestSinkGiveUpPreservesPreviousCheckpoint: exhausting retries must leave
+// the previous durable checkpoint fully intact — give-up degrades
+// freshness, never durability. Negative MaxRetries disables retries
+// entirely: one attempt, no sleeps.
+func TestSinkGiveUpPreservesPreviousCheckpoint(t *testing.T) {
+	batches, _ := sinkWorld(t)
+	path := filepath.Join(t.TempDir(), "state.json")
+
+	st := NewShardedStream(3)
+	feed(t, st, batches[:1])
+	good := NewCheckpointSink(path)
+	if err := good.Save(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance the stream, then fail every subsequent save attempt.
+	feed(t, st, batches[1:2])
+	ifs := fault.NewInjectFS(fault.OS(), 1)
+	ifs.FailSyncs(1 << 30)
+	rec := fault.NewRecorder()
+	bad := &CheckpointSink{Path: path, FS: ifs, Sleeper: rec, MaxRetries: -1}
+	if err := bad.Save(st); err == nil {
+		t.Fatal("Save succeeded under a permanently failing fsync")
+	}
+	if slept := rec.Slept(); len(slept) != 0 {
+		t.Fatalf("MaxRetries<0 slept %v, want no retries", slept)
+	}
+
+	// The batch-1 checkpoint written before the fault must still restore.
+	restored, report, err := NewCheckpointSink(path).Restore(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Resumed || report.QuarantinedPath != "" {
+		t.Fatalf("previous checkpoint damaged by failed save: %+v", report)
+	}
+	if got := restored.Batches(); got != 1 {
+		t.Fatalf("restored %d batches, want the pre-fault 1", got)
+	}
+}

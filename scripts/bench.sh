@@ -14,15 +14,22 @@
 # cmd/experiments -robustness-json — so the robustness frontier is tracked
 # alongside latency. ROBUSTNESS=0 skips it.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_3.json)
+# A BENCH_N.json output with N >= 4 additionally embeds the "serve"
+# section: cmd/loadgen replays a seeded synthetic scenario against a live
+# cmd/corrod daemon at two QPS settings and reports end-to-end ingest and
+# query latency percentiles through the full admission/checkpoint path.
+# SERVE=0 skips it.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_4.json)
 #        BENCHTIME=2s scripts/bench.sh    to change -benchtime
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_4.json}
 BENCHTIME=${BENCHTIME:-1s}
 DELTA_VS=""
 ROBUST=""
+SERVE_BENCH=""
 case "$OUT" in
 BENCH_*.json)
 	n=${OUT#BENCH_}
@@ -32,6 +39,7 @@ BENCH_*.json)
 	*)
 		[ "$n" -ge 2 ] && DELTA_VS="BENCH_$((n - 1)).json"
 		[ "$n" -ge 3 ] && [ "${ROBUSTNESS:-1}" != 0 ] && ROBUST=1
+		[ "$n" -ge 4 ] && [ "${SERVE:-1}" != 0 ] && SERVE_BENCH=1
 		;;
 	esac
 	;;
@@ -40,13 +48,44 @@ PKGS="./internal/core ./internal/score ./internal/entropy ./internal/truth"
 
 RAW=$(mktemp)
 GRID=$(mktemp)
-trap 'rm -f "$RAW" "$GRID"' EXIT
+SERVEDIR=$(mktemp -d)
+CORROD_PID=""
+cleanup() {
+	[ -n "$CORROD_PID" ] && kill "$CORROD_PID" 2>/dev/null && wait "$CORROD_PID" 2>/dev/null
+	rm -rf "$RAW" "$GRID" "$SERVEDIR"
+}
+trap cleanup EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
 
 if [ -n "$ROBUST" ]; then
 	echo "running robustness grid (accuracy under attack)..."
 	go run ./cmd/experiments -robustness-json "$GRID"
+fi
+
+if [ -n "$SERVE_BENCH" ]; then
+	echo "running serving benchmark (loadgen against a live corrod)..."
+	go build -o "$SERVEDIR/corrod" ./cmd/corrod
+	go build -o "$SERVEDIR/loadgen" ./cmd/loadgen
+	"$SERVEDIR/corrod" -addr 127.0.0.1:0 -addr-file "$SERVEDIR/addr" \
+		-data "$SERVEDIR/data" -tenants bench &
+	CORROD_PID=$!
+	i=0
+	while [ ! -s "$SERVEDIR/addr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && echo "corrod never published its address" >&2 && exit 1
+		sleep 0.1
+	done
+	ADDR=$(cat "$SERVEDIR/addr")
+	# Two settings on the same daemon: a gentle trickle and a burst several
+	# times faster, so the JSON shows how latency moves with offered load.
+	"$SERVEDIR/loadgen" -addr "$ADDR" -tenant bench -wait 10s \
+		-qps 50 -query-qps 25 -requests 150 -seed 41 -json "$SERVEDIR/qps50.json"
+	"$SERVEDIR/loadgen" -addr "$ADDR" -tenant bench -wait 10s \
+		-qps 250 -query-qps 100 -requests 500 -seed 42 -json "$SERVEDIR/qps250.json"
+	kill -TERM "$CORROD_PID"
+	wait "$CORROD_PID" || { echo "corrod did not drain cleanly" >&2 && exit 1; }
+	CORROD_PID=""
 fi
 
 {
@@ -61,6 +100,14 @@ fi
 	if [ -n "$ROBUST" ]; then
 		printf '  "robustness": '
 		sed -e '1!s/^/  /' "$GRID" | sed -e '$s/$/,/'
+	fi
+	if [ -n "$SERVE_BENCH" ]; then
+		echo '  "serve": {'
+		printf '    "qps_50": '
+		sed -e '1!s/^/    /' "$SERVEDIR/qps50.json" | sed -e '$s/$/,/'
+		printf '    "qps_250": '
+		sed -e '1!s/^/    /' "$SERVEDIR/qps250.json"
+		echo '  },'
 	fi
 	echo '  "baseline_note": "pre-engine seed (see scripts/baseline_seed.txt)",'
 	echo '  "baseline": {'
