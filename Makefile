@@ -50,7 +50,7 @@ lint-json:
 # tests; the equivalence and differential tests force the concurrent paths
 # even on one CPU.
 race:
-	$(GO) test -race ./internal/core/... ./internal/fault/... ./internal/engine/... ./internal/serve/...
+	$(GO) test -race ./internal/core/... ./internal/fault/... ./internal/engine/... ./internal/serve/... ./internal/pipeline/...
 	$(GO) test -race -run 'TestObserverRoundCount|TestCancellationPerMethod|TestPreCancelledContext' .
 	# The lazy-PQ ranking suite once more with -count=2: the second run
 	# re-ranks through warm pair/key caches, racing the cache maintenance
@@ -68,8 +68,8 @@ golden:
 # test suite with and without runtime invariants, and the race detector.
 check: build vet lint test test-invariants race
 
-# bench runs the core/score/entropy/truth benchmarks and refreshes
-# BENCH_2.json (see scripts/bench.sh).
+# bench runs the core/score/entropy/truth/pipeline benchmarks and
+# refreshes BENCH_5.json (see scripts/bench.sh).
 bench:
 	sh scripts/bench.sh
 
@@ -78,7 +78,7 @@ bench:
 # a broken world builder or a renamed headline benchmark fails CI instead
 # of being discovered at the next BENCH_N refresh. No timing is recorded.
 bench-smoke:
-	$(GO) test -run='^$$' -bench . -benchtime=1x -benchmem -short ./internal/core ./internal/score ./internal/entropy ./internal/truth
+	$(GO) test -run='^$$' -bench . -benchtime=1x -benchmem -short ./internal/core ./internal/score ./internal/entropy ./internal/truth ./internal/pipeline
 
 # fuzz-smoke gives every fuzz target a short budget (FUZZTIME each) — enough
 # to catch regressions in the parsers and normalizers without tying up CI.
@@ -93,6 +93,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCheckpoint -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzScenarioConfig -fuzztime=$(FUZZTIME) ./internal/synth
+	$(GO) test -run='^$$' -fuzz=FuzzQueryParams -fuzztime=$(FUZZTIME) ./internal/serve
 
 # robustness-smoke runs the accuracy-under-attack floors on the quick grid
 # (seconds): every registered method plus the decayed/undecayed stream over

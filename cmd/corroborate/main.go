@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"corroborate"
+	"corroborate/internal/pipeline"
 )
 
 func main() {
@@ -290,16 +291,14 @@ func runStream(paths []string, shards int, checkpointPath string, decay *float64
 		if err != nil {
 			return err
 		}
-		var votes []corroborate.BatchVote
-		for f := 0; f < d.NumFacts(); f++ {
-			for _, sv := range d.VotesOnFact(f) {
-				votes = append(votes, corroborate.BatchVote{
-					Fact:   d.FactName(f),
-					Source: d.SourceName(sv.Source),
-					Vote:   sv.Vote,
-				})
-			}
-		}
+		votes := pipeline.Collect(pipeline.Map(pipeline.FromDataset(d),
+			func(r pipeline.VoteRow) corroborate.BatchVote {
+				return corroborate.BatchVote{
+					Fact:   d.FactName(r.Fact),
+					Source: d.SourceName(r.Source),
+					Vote:   r.Vote,
+				}
+			}))
 		out, err := st.AddBatchContext(ctx, votes)
 		if err != nil {
 			if ctx.Err() != nil {

@@ -17,11 +17,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/tenants/{t}/ingest   {"votes":[{"fact":"f","source":"s","vote":"T"}]}
-//	GET  /v1/tenants/{t}/query    ?fact= &batch= &offset= &limit=
-//	GET  /v1/tenants/{t}/trust
-//	GET  /v1/tenants
-//	GET  /metrics | /healthz | /readyz
+//	POST   /v1/tenants/{t}/ingest   {"votes":[{"fact":"f","source":"s","vote":"T"}]}
+//	GET    /v1/tenants/{t}/query    ?fact= &prefix= &batch= &prediction= &offset= &limit= | &top=
+//	GET    /v1/tenants/{t}/trust
+//	PUT    /v1/tenants/{t}          {"shards":2,"queue_depth":32} (create at runtime)
+//	DELETE /v1/tenants/{t}          (drain + final checkpoint + remove; re-create resumes)
+//	GET    /v1/tenants
+//	GET    /metrics | /healthz | /readyz
 package main
 
 import (
@@ -68,8 +70,8 @@ func run() error {
 		if name == "" {
 			continue
 		}
-		if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
-			return fmt.Errorf("tenant name %q would escape the data directory", name)
+		if err := serve.ValidateTenantName(name); err != nil {
+			return err
 		}
 		if seen[name] {
 			return fmt.Errorf("tenant %q listed twice", name)
@@ -81,8 +83,11 @@ func run() error {
 		return fmt.Errorf("no tenants (pass -tenants a,b,...)")
 	}
 
-	cfg := serve.Config{RequestTimeout: *reqTimeout}
-	for _, name := range names {
+	// tenantTemplate builds one tenant's WorldConfig from the daemon flags,
+	// creating its data directory. Shared between startup tenants and the
+	// lifecycle API, so a tenant created over HTTP checkpoints in the same
+	// place a -tenants one would — deleting and re-creating either resumes.
+	tenantTemplate := func(name string) (serve.WorldConfig, error) {
 		wc := serve.WorldConfig{
 			Name:          name,
 			Shards:        *shards,
@@ -93,9 +98,18 @@ func run() error {
 		if *data != "" {
 			dir := filepath.Join(*data, name)
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				return fmt.Errorf("creating tenant directory: %w", err)
+				return serve.WorldConfig{}, fmt.Errorf("creating tenant directory: %w", err)
 			}
 			wc.CheckpointPath = filepath.Join(dir, "checkpoint.json")
+		}
+		return wc, nil
+	}
+
+	cfg := serve.Config{RequestTimeout: *reqTimeout, NewTenant: tenantTemplate}
+	for _, name := range names {
+		wc, err := tenantTemplate(name)
+		if err != nil {
+			return err
 		}
 		cfg.Tenants = append(cfg.Tenants, wc)
 	}

@@ -38,12 +38,13 @@ func run() error {
 	maxIter := flag.Int("maxiter", 0, "override every method's iteration cap (0 runs zero rounds; negative removes the cap)")
 	tol := flag.Float64("tol", 0, "override every iterative method's convergence tolerance (0 demands an exact fixpoint)")
 	robustJSON := flag.String("robustness-json", "", "write the machine-readable robustness grid (accuracy under attack) to this file ('-' for stdout) and exit")
+	fig2Samples := flag.Int("figure2-samples", 0, "trajectory points sampled for the Figure 2 tables (0 = default 20)")
 	flag.Parse()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Ctx: ctx}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Ctx: ctx, Figure2Samples: *fig2Samples}
 	// Only explicitly set flags become overrides: -maxiter 0 and -tol 0 are
 	// meaningful values, not "use the default".
 	flag.Visit(func(f *flag.Flag) {

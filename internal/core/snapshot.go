@@ -20,6 +20,18 @@ type StreamSnapshot struct {
 	TrustDecay float64
 }
 
+// EachFact iterates the decided-fact log in evaluation order, stopping
+// early when yield returns false. It is the serving layer's lazy read
+// hook: internal/pipeline sources a stream from it, so a query that stops
+// after k facts (top-k, first-match) never walks the rest of the log.
+func (s *StreamSnapshot) EachFact(yield func(StreamFact) bool) {
+	for i := range s.Facts {
+		if !yield(s.Facts[i]) {
+			return
+		}
+	}
+}
+
 // Snapshot captures a consistent view of the stream at its current batch
 // boundary. Unlike separate Trust/Decided/Batches calls — which each
 // acquire the lock and may interleave with a concurrent AddBatch — the

@@ -26,6 +26,7 @@ import (
 	"corroborate/internal/hubdub"
 	"corroborate/internal/metrics"
 	"corroborate/internal/ml"
+	"corroborate/internal/pipeline"
 	"corroborate/internal/restaurant"
 	"corroborate/internal/synth"
 	"corroborate/internal/truth"
@@ -123,6 +124,9 @@ type Options struct {
 	// iteration defaults via engine.Options — explicit zero is honoured.
 	MaxIter   *int
 	Tolerance *float64
+	// Figure2Samples is how many evenly spaced trajectory points Figure2
+	// renders per strategy; 0 means the paper-shaped default of 20.
+	Figure2Samples int
 }
 
 func (o Options) seed() int64 {
@@ -130,6 +134,13 @@ func (o Options) seed() int64 {
 		return 2
 	}
 	return o.Seed
+}
+
+func (o Options) figure2Samples() int {
+	if o.Figure2Samples <= 0 {
+		return 20
+	}
+	return o.Figure2Samples
 }
 
 func (o Options) ctx() context.Context {
@@ -170,7 +181,10 @@ func fmtF(x float64) string { return fmt.Sprintf("%.2f", x) }
 
 // evalParallel runs every method over the dataset concurrently and returns
 // the reports in input order. Each method is independent, so the
-// parallelism changes nothing but wall-clock time.
+// parallelism changes nothing but wall-clock time. The per-method scoring
+// (metrics.Evaluate) is itself an operator composition — golden stream ⋈
+// predictions, aggregated into the confusion matrix — so this function is
+// only the fan-out; no per-table loop materializes intermediate slices.
 func evalParallel(o Options, d *truth.Dataset, methods []truth.Method) ([]metrics.Report, error) {
 	reports := make([]metrics.Report, len(methods))
 	errs := make([]error, len(methods))
@@ -359,27 +373,24 @@ func Table5(o Options) (*Table, error) {
 }
 
 // trustFromPredictions computes per-source trust as the share of each
-// source's golden-set votes that agree with the result's predictions.
+// source's golden-set votes that agree with the result's predictions: per
+// source, the posting list ⋈ golden set, aggregated into agree/total.
 func trustFromPredictions(d *truth.Dataset, r *truth.Result) []float64 {
-	inGolden := make(map[int]bool)
-	for _, f := range d.Golden() {
-		inGolden[f] = true
-	}
+	type tally struct{ agree, total int }
 	trust := make([]float64, d.NumSources())
 	for s := 0; s < d.NumSources(); s++ {
-		agree, total := 0, 0
-		for _, fv := range d.VotesBySource(s) {
-			if !inGolden[fv.Fact] {
-				continue
+		onGolden := pipeline.JoinGolden(d, pipeline.FromSourceVotes(d, s),
+			func(fv truth.FactVote) int { return fv.Fact })
+		c := pipeline.Aggregate(onGolden, tally{}, func(c tally, j pipeline.Joined[truth.FactVote]) tally {
+			c.total++
+			pred := r.Predictions[j.Row.Fact]
+			if (j.Row.Vote == truth.Affirm && pred == truth.True) || (j.Row.Vote == truth.Deny && pred == truth.False) {
+				c.agree++
 			}
-			total++
-			pred := r.Predictions[fv.Fact]
-			if (fv.Vote == truth.Affirm && pred == truth.True) || (fv.Vote == truth.Deny && pred == truth.False) {
-				agree++
-			}
-		}
-		if total > 0 {
-			trust[s] = float64(agree) / float64(total)
+			return c
+		})
+		if c.total > 0 {
+			trust[s] = float64(c.agree) / float64(c.total)
 		} else {
 			trust[s] = 0.5
 		}
@@ -475,17 +486,20 @@ func Figure2(o Options) (*Table, error) {
 			return nil, fmt.Errorf("experiments: %s trajectory: %w", e.Name(), err)
 		}
 		n := len(run.Trajectory)
-		step := n / 20
+		step := n / o.figure2Samples()
 		if step == 0 {
 			step = 1
 		}
-		for i := 0; i < n; i += step {
+		// Sample the trajectory lazily: Stride touches only the rendered
+		// time points, it never copies the trajectory.
+		pipeline.Stride(pipeline.Range(n), step)(func(i int) bool {
 			row := []string{e.Name(), fmt.Sprintf("%d", i)}
 			for s := range names {
 				row = append(row, fmtF(run.Trajectory[i].Trust[s]))
 			}
 			t.Rows = append(t.Rows, row)
-		}
+			return true
+		})
 	}
 	return t, nil
 }

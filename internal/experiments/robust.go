@@ -10,6 +10,7 @@ import (
 	"corroborate/internal/core"
 	"corroborate/internal/depend"
 	"corroborate/internal/ml"
+	"corroborate/internal/pipeline"
 	"corroborate/internal/synth"
 	"corroborate/internal/truth"
 )
@@ -123,33 +124,49 @@ func (o Options) robustnessScenario(fraction float64, batches int) (*synth.Scena
 
 // streamAccuracy replays the scenario through a decayed or undecayed
 // sharded stream and scores the at-arrival decisions against the ground
-// truth.
+// truth. The replay is an operator composition: the scenario's flattened
+// vote stream, windowed back into its batches at the batch boundaries,
+// each window mapped into the stream's ingest form and its decisions
+// aggregated into the running score — no per-batch intermediate beyond
+// the one window in flight.
 func streamAccuracy(w *synth.ScenarioWorld, decay float64) (float64, error) {
 	st := core.NewShardedStream(4)
 	if err := st.SetTrustDecay(decay); err != nil {
 		return 0, err
 	}
-	right, total := 0, 0
-	for i := range w.Batches {
-		votes := make([]core.BatchVote, 0, len(w.Batches[i].Votes))
-		for _, v := range w.Batches[i].Votes {
-			votes = append(votes, core.BatchVote{Fact: v.Fact, Source: v.Source, Vote: v.Vote})
-		}
-		out, err := st.AddBatch(votes)
-		if err != nil {
-			return 0, fmt.Errorf("batch %d: %w", i, err)
-		}
-		for _, sf := range out {
-			total++
-			if (sf.Prediction == truth.True) == (w.Truth[sf.Name] == truth.True) {
-				right++
-			}
-		}
+	type score struct {
+		right, total int
 	}
-	if total == 0 {
+	var sc score
+	var err error
+	batches := pipeline.KeyWindows(pipeline.FromScenario(w),
+		func(r pipeline.ScenarioRow) int { return r.Batch })
+	batches(func(win []pipeline.ScenarioRow) bool {
+		votes := pipeline.Collect(pipeline.Map(pipeline.FromSlice(win),
+			func(r pipeline.ScenarioRow) core.BatchVote {
+				return core.BatchVote{Fact: r.Vote.Fact, Source: r.Vote.Source, Vote: r.Vote.Vote}
+			}))
+		out, aerr := st.AddBatch(votes)
+		if aerr != nil {
+			err = fmt.Errorf("batch %d: %w", win[0].Batch, aerr)
+			return false
+		}
+		sc = pipeline.Aggregate(pipeline.FromSlice(out), sc, func(s score, sf core.StreamFact) score {
+			s.total++
+			if (sf.Prediction == truth.True) == (w.Truth[sf.Name] == truth.True) {
+				s.right++
+			}
+			return s
+		})
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if sc.total == 0 {
 		return 0, fmt.Errorf("stream decided no facts")
 	}
-	return float64(right) / float64(total), nil
+	return float64(sc.right) / float64(sc.total), nil
 }
 
 // RobustnessGrid computes the full accuracy-under-attack grid: every

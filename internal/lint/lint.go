@@ -138,6 +138,7 @@ func Analyzers() []*Analyzer {
 		GoNoSync,
 		CloseCheck,
 		LoopDriver,
+		PipeMat,
 		DetFlow,
 		CtxLoop,
 		SharedMutate,

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PipeMat reports hand-rolled vote-stream materialization outside
+// internal/pipeline: a `range` loop over a slice of vote-shaped rows
+// (a struct with a Vote or Prediction field — batch votes, decided facts,
+// scenario votes, golden rows) whose body appends those rows, or values
+// derived from them, to a slice declared outside the loop. Since PR 10 the
+// filter/map/collect shape lives in the pipeline operator layer, which
+// keeps the pass lazy and the intermediate O(result) instead of O(stream);
+// a loop that re-materializes silently reverts that. Legitimate shapes are
+// untouched: preallocated index assignment (`out[i] = ...`), pure
+// aggregation without appends, per-iteration scratch slices, and loops
+// over non-vote data. The operator layer itself is exempt (it implements
+// the materializing terminals), as are _test.go files, where reference
+// loops ARE the assertion.
+var PipeMat = &Analyzer{
+	Name: "pipemat",
+	Doc:  "vote-stream range loop materializing an intermediate slice outside internal/pipeline",
+	Run:  runPipeMat,
+}
+
+// pipelinePathSuffix exempts the package that owns the operator layer.
+const pipelinePathSuffix = "internal/pipeline"
+
+func runPipeMat(pass *Pass) {
+	if pass.Pkg != nil {
+		p := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+		if strings.HasSuffix(p, pipelinePathSuffix) {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isVoteStream(pass, rng.X) {
+				return true
+			}
+			if app := findMaterializingAppend(pass, rng); app != nil {
+				pass.Reportf(rng.For, "vote-stream range loop materializes an intermediate slice at line %d; compose pipeline operators (Filter/Map/Collect) instead (or justify with //lint:ignore pipemat <reason>)",
+					pass.Fset.Position(app.Pos()).Line)
+			}
+			return true
+		})
+	}
+}
+
+// isVoteStream reports whether expr is a slice (or array) whose element is
+// a struct carrying a Vote or Prediction field — the row shapes of the
+// corroboration stream.
+func isVoteStream(pass *Pass, expr ast.Expr) bool {
+	t := pass.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	if p, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "Vote", "Prediction":
+			return true
+		}
+	}
+	return false
+}
+
+// findMaterializingAppend scans the loop body for `out = append(out, ...)`
+// where out is declared before the loop and the appended values derive
+// from the current row (the range value variable, or ranged[key]). It
+// returns the offending assignment, nil when the loop is clean. Function
+// literals are skipped: a closure that appends owns its own lifetime
+// (it is usually a pipeline fold itself).
+func findMaterializingAppend(pass *Pass, rng *ast.RangeStmt) *ast.AssignStmt {
+	valueObj := identObject(pass, rng.Value)
+	keyObj := identObject(pass, rng.Key)
+	rangedObj := identObject(pass, rng.X)
+	var found *ast.AssignStmt
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || len(call.Args) < 2 {
+				return true
+			}
+			lhs := identObject(pass, s.Lhs[0])
+			if lhs == nil || lhs != identObject(pass, call.Args[0]) {
+				return true
+			}
+			// Only slices accumulated across iterations count: the target
+			// must predate the loop.
+			if lhs.Pos() >= rng.Pos() {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if referencesRow(pass, arg, valueObj, keyObj, rangedObj) {
+					found = s
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// identObject resolves an identifier expression to its object (nil for
+// non-identifiers, blanks, and missing type info).
+func identObject(pass *Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" || pass.Info == nil {
+		return nil
+	}
+	return pass.Info.ObjectOf(id)
+}
+
+// referencesRow reports whether expr mentions the current row: the range
+// value variable, or an index of the ranged slice by the range key.
+func referencesRow(pass *Pass, expr ast.Expr, valueObj, keyObj, rangedObj types.Object) bool {
+	uses := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if uses {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident:
+			if obj := identObject(pass, e); obj != nil && valueObj != nil && obj == valueObj {
+				uses = true
+			}
+		case *ast.IndexExpr:
+			if rangedObj != nil && keyObj != nil &&
+				identObject(pass, e.X) == rangedObj && identObject(pass, e.Index) == keyObj {
+				uses = true
+			}
+		}
+		return !uses
+	})
+	return uses
+}

@@ -1,0 +1,101 @@
+// Package fixture exercises the pipemat analyzer: range loops over
+// vote-shaped rows that materialize an intermediate slice are findings;
+// preallocated index assignment, pure aggregation, per-iteration scratch,
+// non-vote data, and justified loops are not.
+package fixture
+
+// Vote mirrors the repository's vote alphabet.
+type Vote string
+
+// BatchVote is a vote-shaped row (it has a Vote field).
+type BatchVote struct {
+	Fact, Source string
+	Vote         Vote
+}
+
+// StreamFact is a decided-fact-shaped row (it has a Prediction field).
+type StreamFact struct {
+	Name        string
+	Probability float64
+	Prediction  bool
+}
+
+// filterVotes is the σ-then-materialize shape the operator layer replaces:
+// reported.
+func filterVotes(votes []BatchVote) []BatchVote {
+	var kept []BatchVote
+	for _, v := range votes {
+		if v.Vote == "T" {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
+// projectByIndex materializes through the index variable instead of the
+// value variable: reported.
+func projectByIndex(facts []StreamFact) []string {
+	names := make([]string, 0, len(facts))
+	for i := range facts {
+		names = append(names, facts[i].Name)
+	}
+	return names
+}
+
+// convert writes into a preallocated slice by index — O(n) output built in
+// one pass, nothing intermediate: not reported.
+func convert(votes []BatchVote) []string {
+	out := make([]string, len(votes))
+	for i, v := range votes {
+		out[i] = v.Fact
+	}
+	return out
+}
+
+// countTrue aggregates without materializing: not reported.
+func countTrue(votes []BatchVote) int {
+	n := 0
+	for _, v := range votes {
+		if v.Vote == "T" {
+			n++
+		}
+	}
+	return n
+}
+
+// scratchPerRow appends to a slice declared inside the loop — per-row
+// scratch, not an accumulated intermediate: not reported.
+func scratchPerRow(votes []BatchVote) int {
+	n := 0
+	for _, v := range votes {
+		var parts []string
+		parts = append(parts, v.Fact, v.Source)
+		n += len(parts)
+	}
+	return n
+}
+
+// point has neither a Vote nor a Prediction field.
+type point struct{ X, Y int }
+
+// collectPoints materializes, but not from a vote stream: not reported.
+func collectPoints(ps []point) []point {
+	var out []point
+	for _, p := range ps {
+		if p.X > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// justified keeps a reference materialization under an explanation: the
+// finding is suppressed.
+func justified(votes []BatchVote) []BatchVote {
+	var kept []BatchVote
+	//lint:ignore pipemat reference loop kept for a differential test
+	for _, v := range votes {
+		kept = append(kept, v)
+	}
+	return kept
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -137,5 +138,40 @@ func TestMetricBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConfuseAllocationCeiling pins Confuse's operator form to O(1)
+// allocation: the golden stream is folded in place, so the matrix costs a
+// handful of closures no matter how many facts are evaluated.
+func TestConfuseAllocationCeiling(t *testing.T) {
+	const n = 20_000
+	b := truth.NewBuilder()
+	b.AddSources("s")
+	for i := 0; i < n; i++ {
+		f := b.Fact(fmt.Sprintf("f%05d", i))
+		b.Vote(f, 0, truth.Affirm)
+		if i%2 == 0 {
+			b.Label(f, truth.True)
+		} else {
+			b.Label(f, truth.False)
+		}
+	}
+	d := b.Build()
+	r := truth.NewResult("test", d)
+	for f := 0; f < n; f++ {
+		if f%3 == 0 {
+			r.FactProb[f] = 1
+		}
+	}
+	r.Finalize()
+	allocs := testing.AllocsPerRun(10, func() {
+		c := Confuse(d, r)
+		if c.Evaluated() != n {
+			t.Fatalf("evaluated %d facts, want %d", c.Evaluated(), n)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("Confuse over %d facts: %.0f allocs/run, ceiling 8", n, allocs)
 	}
 }

@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+// benchRow mirrors the shape of the daemon's decided-fact rows without
+// importing the engine: the benchmarks measure the operator layer itself.
+type benchRow struct {
+	name  int
+	batch int
+	prob  float64
+	pred  bool
+}
+
+func benchRows(n int) []benchRow {
+	rows := make([]benchRow, n)
+	for i := range rows {
+		rows[i] = benchRow{
+			name:  i,
+			batch: i / 100,
+			prob:  float64(i%97) / 97,
+			pred:  i%3 != 0,
+		}
+	}
+	return rows
+}
+
+// BenchmarkPipelineTopK10 is the laziness headline: top-10 by probability
+// over a 200k-row stream. allocs/op is the number to watch — it must stay
+// O(k), not O(rows) (a materializing implementation allocates ~200k times
+// more; the serve layer's AllocsPerRun ceiling enforces the same bound).
+func BenchmarkPipelineTopK10(b *testing.B) {
+	rows := benchRows(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, total := TopK(FromSlice(rows), 10, func(x, y benchRow) bool { return x.prob > y.prob })
+		if total != len(rows) || len(top) != 10 {
+			b.Fatalf("top-k saw total=%d len=%d", total, len(top))
+		}
+	}
+}
+
+// BenchmarkPipelineFilterPage is the daemon's /query shape: σ then a
+// 10-row page deep into a 200k-row stream.
+func BenchmarkPipelineFilterPage(b *testing.B) {
+	rows := benchRows(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched := Filter(FromSlice(rows), func(r benchRow) bool { return r.pred })
+		total, page := Page(matched, 50_000, 10)
+		if total == 0 || len(page) != 10 {
+			b.Fatalf("page saw total=%d len=%d", total, len(page))
+		}
+	}
+}
+
+// BenchmarkPipelineWindowedFold is the robustness replay shape: key
+// windows over a batch-tagged stream, each window folded into a running
+// aggregate. One window buffer in flight, reused across batches.
+func BenchmarkPipelineWindowedFold(b *testing.B) {
+	rows := benchRows(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := 0
+		KeyWindows(FromSlice(rows), func(r benchRow) int { return r.batch })(func(win []benchRow) bool {
+			for _, r := range win {
+				if r.pred {
+					sum++
+				}
+			}
+			return true
+		})
+		if sum == 0 {
+			b.Fatal("fold saw nothing")
+		}
+	}
+}

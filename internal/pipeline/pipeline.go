@@ -1,0 +1,253 @@
+// Package pipeline is the lazy relational operator layer over vote
+// streams. The paper's evaluation pipeline — filter votes, join with the
+// golden truth, group by fact signature, aggregate per source — used to be
+// re-implemented as bespoke loops in every consumer (each experiments
+// table runner, the robustness sweep, the daemon's query path). This
+// package factors that shape into a small set of composable operators in
+// the streaming-relational-algebra style: σ (Filter), π (Map), ⋈
+// (JoinGolden), γ (GroupBySignature, Aggregate), plus windows and the
+// terminal collectors.
+//
+// # Operator model
+//
+// A stream is a Seq[T]: a push iterator — a function that yields elements
+// to a callback until the stream is exhausted or the callback returns
+// false (early termination). Operators wrap a Seq in another Seq without
+// running it; nothing is computed until a terminal (Collect, Aggregate,
+// Count, TopK, Page, First) drives the chain. The model is the iter.Seq
+// shape of the Go standard library, kept as an explicit named type so the
+// operators compose by plain function application.
+//
+// # Laziness contract
+//
+//   - Building a chain performs no iteration and allocates only the
+//     closures (O(operators), independent of stream length).
+//   - A terminal makes exactly one pass over the source; early termination
+//     propagates upstream, so TopK/First/Take over a 200k-element stream
+//     stop pulling as soon as they are satisfied.
+//   - Streams run on the caller's goroutine: no channels, no spawned
+//     goroutines, no locks. Concurrency stays with the caller (the
+//     experiments runners fan methods out exactly as before).
+//   - Blocking operators are explicit: GroupBySignature and TopK hold
+//     O(groups) / O(k) state; windows hold one window. Nothing else
+//     materializes.
+//   - Window slices are reused between yields; callers that retain a
+//     window past its yield must copy it.
+//
+// # Determinism rules
+//
+//   - Operators preserve source order; sources over repository types
+//     (datasets, snapshots, scenarios) iterate in their canonical
+//     deterministic order, so a fixed seed reproduces every stream
+//     byte-for-byte.
+//   - TopK is defined as a stable sort by the ranking function followed by
+//     truncation: ties keep arrival order. The heap implementation is
+//     locked to that reference by the metamorphic battery.
+//   - GroupBySignature emits groups in first-appearance order of their
+//     signature (the order core's group builder uses), never map order.
+package pipeline
+
+// Seq is a lazy stream of T: calling it pushes elements into yield until
+// the stream ends or yield returns false. It is the iter.Seq shape.
+type Seq[T any] func(yield func(T) bool)
+
+// FromSlice streams a slice in index order without copying it.
+func FromSlice[T any](xs []T) Seq[T] {
+	return func(yield func(T) bool) {
+		for i := range xs {
+			if !yield(xs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Filter is σ: it keeps the elements satisfying keep, preserving order.
+func Filter[T any](s Seq[T], keep func(T) bool) Seq[T] {
+	return func(yield func(T) bool) {
+		s(func(v T) bool {
+			if !keep(v) {
+				return true
+			}
+			return yield(v)
+		})
+	}
+}
+
+// Map is π: it transforms every element, preserving order.
+func Map[T, U any](s Seq[T], f func(T) U) Seq[U] {
+	return func(yield func(U) bool) {
+		s(func(v T) bool { return yield(f(v)) })
+	}
+}
+
+// Take passes through the first n elements, then terminates the source.
+func Take[T any](s Seq[T], n int) Seq[T] {
+	return func(yield func(T) bool) {
+		if n <= 0 {
+			return
+		}
+		taken := 0
+		s(func(v T) bool {
+			if !yield(v) {
+				return false
+			}
+			taken++
+			return taken < n
+		})
+	}
+}
+
+// Drop skips the first n elements.
+func Drop[T any](s Seq[T], n int) Seq[T] {
+	if n <= 0 {
+		return s
+	}
+	return func(yield func(T) bool) {
+		skipped := 0
+		s(func(v T) bool {
+			if skipped < n {
+				skipped++
+				return true
+			}
+			return yield(v)
+		})
+	}
+}
+
+// Stride keeps elements 0, step, 2*step, ... — the sampling shape of the
+// trajectory figures. step < 1 is treated as 1.
+func Stride[T any](s Seq[T], step int) Seq[T] {
+	if step <= 1 {
+		return s
+	}
+	return func(yield func(T) bool) {
+		i := 0
+		s(func(v T) bool {
+			keep := i%step == 0
+			i++
+			if !keep {
+				return true
+			}
+			return yield(v)
+		})
+	}
+}
+
+// Collect is the materializing terminal: it drains the stream into a
+// fresh slice (nil for an empty stream).
+func Collect[T any](s Seq[T]) []T {
+	var out []T
+	s(func(v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Count drains the stream and reports its length.
+func Count[T any](s Seq[T]) int {
+	n := 0
+	s(func(T) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Aggregate is the γ terminal: it folds the stream left-to-right into an
+// accumulator. Because operators preserve order, a float aggregation sums
+// in exactly the order a hand-rolled loop over the source would.
+func Aggregate[T, A any](s Seq[T], init A, fold func(A, T) A) A {
+	acc := init
+	s(func(v T) bool {
+		acc = fold(acc, v)
+		return true
+	})
+	return acc
+}
+
+// First returns the first element and true, or the zero value and false
+// for an empty stream. It pulls at most one element from the source.
+func First[T any](s Seq[T]) (T, bool) {
+	var got T
+	ok := false
+	s(func(v T) bool {
+		got, ok = v, true
+		return false
+	})
+	return got, ok
+}
+
+// Page is the pagination terminal: one pass that counts every element and
+// materializes only the window [offset, offset+limit). A negative limit
+// means "to the end". Memory is O(limit) (O(matched-offset) when
+// unlimited), never O(stream).
+func Page[T any](s Seq[T], offset, limit int) (total int, page []T) {
+	if offset < 0 {
+		offset = 0
+	}
+	s(func(v T) bool {
+		if total >= offset && (limit < 0 || len(page) < limit) {
+			page = append(page, v)
+		}
+		total++
+		return true
+	})
+	return total, page
+}
+
+// CountWindows groups the stream into consecutive windows of size n (the
+// last may be shorter). The yielded slice is reused between windows:
+// consumers must finish with (or copy) a window before the next yield.
+func CountWindows[T any](s Seq[T], n int) Seq[[]T] {
+	return func(yield func([]T) bool) {
+		if n < 1 {
+			return
+		}
+		buf := make([]T, 0, n)
+		done := false
+		s(func(v T) bool {
+			buf = append(buf, v)
+			if len(buf) == n {
+				if !yield(buf) {
+					done = true
+					return false
+				}
+				buf = buf[:0]
+			}
+			return true
+		})
+		if !done && len(buf) > 0 {
+			yield(buf)
+		}
+	}
+}
+
+// KeyWindows groups the stream into batch-boundary windows: a new window
+// starts whenever key changes between consecutive elements. Elements of
+// one batch must therefore arrive contiguously, which every repository
+// source guarantees. The yielded slice is reused between windows.
+func KeyWindows[T any](s Seq[T], key func(T) int) Seq[[]T] {
+	return func(yield func([]T) bool) {
+		var buf []T
+		cur := 0
+		done := false
+		s(func(v T) bool {
+			k := key(v)
+			if len(buf) > 0 && k != cur {
+				if !yield(buf) {
+					done = true
+					return false
+				}
+				buf = buf[:0]
+			}
+			cur = k
+			buf = append(buf, v)
+			return true
+		})
+		if !done && len(buf) > 0 {
+			yield(buf)
+		}
+	}
+}

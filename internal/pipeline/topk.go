@@ -1,0 +1,85 @@
+package pipeline
+
+// TopK is the order-selecting terminal: it returns the k highest-ranked
+// elements of the stream — as if the materialized stream were stably
+// sorted by rank and truncated to k — plus the total number of elements
+// seen. rank(a, b) reports whether a outranks b; ties keep arrival order.
+//
+// The implementation is a bounded min-heap of (element, arrival ordinal):
+// memory is O(k) and time O(n log k), so a TopK(10) over 200k facts never
+// materializes the stream. The stable-sort-then-truncate definition is the
+// reference the metamorphic battery locks this heap against.
+func TopK[T any](s Seq[T], k int, rank func(a, b T) bool) (top []T, total int) {
+	if k <= 0 {
+		return nil, Count(s)
+	}
+	type entry struct {
+		v   T
+		ord int
+	}
+	// worse reports whether a ranks strictly below b: lower rank, or equal
+	// rank with later arrival. The heap keeps the worst entry at the root
+	// so a better newcomer can evict it.
+	worse := func(a, b entry) bool {
+		if rank(a.v, b.v) {
+			return false
+		}
+		if rank(b.v, a.v) {
+			return true
+		}
+		return a.ord > b.ord
+	}
+	heap := make([]entry, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && worse(heap[l], heap[min]) {
+				min = l
+			}
+			if r < len(heap) && worse(heap[r], heap[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(heap[i], heap[p]) {
+				return
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	s(func(v T) bool {
+		e := entry{v: v, ord: total}
+		total++
+		if len(heap) < k {
+			heap = append(heap, e)
+			siftUp(len(heap) - 1)
+			return true
+		}
+		if worse(e, heap[0]) {
+			return true // does not beat the current worst
+		}
+		heap[0] = e
+		siftDown(0)
+		return true
+	})
+	// Drain the heap worst-first into the tail of the result, leaving the
+	// survivors in rank order (ties in arrival order).
+	out := make([]T, len(heap))
+	for n := len(heap); n > 0; n-- {
+		out[n-1] = heap[0].v
+		heap[0] = heap[n-1]
+		heap = heap[:n-1]
+		siftDown(0)
+	}
+	return out, total
+}

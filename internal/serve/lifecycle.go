@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// maxLifecycleBody bounds a tenant-create request body; the body carries a
+// couple of small integers.
+const maxLifecycleBody = 1 << 16
+
+// ValidateTenantName is the shared gate for tenant names arriving from
+// flags or from the lifecycle API: the name becomes both a URL path
+// segment and a data-directory component, so anything that could escape
+// either is refused.
+func ValidateTenantName(name string) error {
+	if name == "" {
+		return fmt.Errorf("tenant name must be non-empty")
+	}
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("tenant name %q would escape the data directory", name)
+	}
+	return nil
+}
+
+// TenantCreateRequest is the optional PUT /v1/tenants/{t} body. Zero
+// fields keep the server's template values.
+type TenantCreateRequest struct {
+	// Shards is the new world's shard count; 0 keeps the template's.
+	Shards int `json:"shards"`
+	// QueueDepth is the new world's admission bound; 0 keeps the
+	// template's.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// TenantCreateResponse acknowledges one created tenant.
+type TenantCreateResponse struct {
+	TenantStatus
+	// Resumed reports whether the world picked up an existing checkpoint
+	// (a re-created tenant resumes exactly where its deletion left it).
+	Resumed bool `json:"resumed"`
+}
+
+// TenantDeleteResponse acknowledges one drained-and-removed tenant.
+type TenantDeleteResponse struct {
+	Name string `json:"name"`
+	// Batches is the batch count captured by the final checkpoint —
+	// re-creating the tenant resumes from exactly this state.
+	Batches int `json:"batches"`
+}
+
+// handleTenantCreate is PUT /v1/tenants/{tenant}: open a new world at
+// runtime from the server's tenant template, with the request body
+// overriding shard count and queue depth. 201 on success, 409 if the name
+// is taken, 403 when the server has no template (static-topology mode),
+// 503 while draining.
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	}
+	if s.newTenant == nil {
+		writeError(w, http.StatusForbidden, "tenant lifecycle is disabled (server has no tenant template)")
+		return
+	}
+	name := r.PathValue("tenant")
+	if err := ValidateTenantName(name); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req TenantCreateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLifecycleBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "parsing create body: %v", err)
+		return
+	}
+	if req.Shards < 0 || req.QueueDepth < 0 {
+		writeError(w, http.StatusBadRequest, "shards and queue_depth must be non-negative")
+		return
+	}
+	cfg, err := s.newTenant(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "preparing tenant %q: %v", name, err)
+		return
+	}
+	cfg.Name = name
+	if req.Shards > 0 {
+		cfg.Shards = req.Shards
+	}
+	if req.QueueDepth > 0 {
+		cfg.QueueDepth = req.QueueDepth
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = s.clock
+	}
+
+	// The write lock spans the existence check AND the open, so two
+	// concurrent creates of one name cannot both open a world (and race on
+	// the checkpoint file). Opening is one checkpoint read — cheap enough
+	// to hold the lock across.
+	s.mu.Lock()
+	if _, dup := s.worlds[name]; dup {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "tenant %q already exists", name)
+		return
+	}
+	world, report, err := OpenWorld(cfg)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "opening tenant %q: %v", name, err)
+		return
+	}
+	s.worlds[name] = world
+	s.names = append(s.names, name)
+	sort.Strings(s.names)
+	s.mu.Unlock()
+
+	snap := world.Snapshot()
+	writeJSON(w, http.StatusCreated, TenantCreateResponse{
+		TenantStatus: TenantStatus{
+			Name:    name,
+			Batches: snap.Batches,
+			Facts:   len(snap.Facts),
+			Sources: len(snap.Trust),
+		},
+		Resumed: report.Resumed,
+	})
+}
+
+// handleTenantDelete is DELETE /v1/tenants/{tenant}: drain the world
+// through the normal acknowledged path (flushing its queue, writing a
+// final checkpoint) and remove it from serving. The checkpoint file is
+// deliberately left on disk — deletion removes the tenant from the
+// topology, not its durable history, so a later create resumes it. If the
+// final checkpoint fails the tenant is kept (drained, refusing ingest,
+// still queryable) and the failure reported: removal never acknowledges
+// state it could not persist.
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	}
+	name := r.PathValue("tenant")
+	s.mu.RLock()
+	world := s.worlds[name]
+	s.mu.RUnlock()
+	if world == nil {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return
+	}
+	if err := world.Drain(); err != nil {
+		writeError(w, http.StatusInternalServerError, "draining tenant %q: %v (tenant kept, not admitting)", name, err)
+		return
+	}
+	s.mu.Lock()
+	if s.worlds[name] == world {
+		delete(s.worlds, name)
+		for i, n := range s.names {
+			if n == name {
+				s.names = append(s.names[:i], s.names[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, TenantDeleteResponse{Name: name, Batches: world.Snapshot().Batches})
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"path/filepath"
+	"testing"
+)
+
+// doLifecycle issues a PUT or DELETE against the tenant collection.
+func doLifecycle(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// templateConfig returns a Config whose NewTenant hook checkpoints each
+// tenant under dir — the daemon's layout in miniature.
+func templateConfig(dir string) Config {
+	return Config{NewTenant: func(name string) (WorldConfig, error) {
+		return WorldConfig{
+			Name:           name,
+			Shards:         1,
+			CheckpointPath: filepath.Join(dir, name+".json"),
+		}, nil
+	}}
+}
+
+// TestTenantLifecycle walks the full dynamic topology loop: create a
+// tenant at runtime on an initially empty server, feed it, delete it
+// (drain + final checkpoint), and re-create it — which must resume from
+// exactly the deleted tenant's final state.
+func TestTenantLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, templateConfig(dir))
+	defer func() {
+		if err := srv.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// The server starts with no tenants at all.
+	if names := srv.TenantNames(); len(names) != 0 {
+		t.Fatalf("empty server hosts %v", names)
+	}
+
+	resp := doLifecycle(t, http.MethodPut, ts.URL+"/v1/tenants/newt", []byte(`{"shards":2,"queue_depth":8}`))
+	var created TenantCreateResponse
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	decodeInto(t, resp, &created)
+	if created.Name != "newt" || created.Resumed || created.Batches != 0 {
+		t.Fatalf("create acked %+v", created)
+	}
+	if w := srv.World("newt"); w == nil || w.QueueCap() != 8 {
+		t.Fatalf("created world missing or wrong queue cap")
+	}
+
+	// Duplicate create conflicts; invalid names are refused outright.
+	resp = doLifecycle(t, http.MethodPut, ts.URL+"/v1/tenants/newt", nil)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d, want 409", resp.StatusCode)
+	}
+	resp = doLifecycle(t, http.MethodPut, ts.URL+"/v1/tenants/a%5Cb", nil)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad name create: status %d, want 400", resp.StatusCode)
+	}
+	resp = doLifecycle(t, http.MethodPut, ts.URL+"/v1/tenants/other", []byte(`{"shards":-1}`))
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative shards: status %d, want 400", resp.StatusCode)
+	}
+
+	// The created tenant ingests and queries like a configured one.
+	batches := scenarioBatches(t, 2, 4, 53)
+	for _, votes := range batches {
+		resp, err := postIngest(ts, "newt", ingestBody(t, votes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest into created tenant: %d", resp.StatusCode)
+		}
+	}
+
+	// Delete: drains, writes the final checkpoint, removes from serving.
+	resp = doLifecycle(t, http.MethodDelete, ts.URL+"/v1/tenants/newt", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	var deleted TenantDeleteResponse
+	decodeInto(t, resp, &deleted)
+	if deleted.Name != "newt" || deleted.Batches != 2 {
+		t.Fatalf("delete acked %+v", deleted)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/tenants/newt/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted tenant query: status %d, want 404", getResp.StatusCode)
+	}
+	if names := srv.TenantNames(); len(names) != 0 {
+		t.Fatalf("after delete server hosts %v", names)
+	}
+
+	// Deleting the unknown name again is a 404, not an error.
+	resp = doLifecycle(t, http.MethodDelete, ts.URL+"/v1/tenants/newt", nil)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: status %d, want 404", resp.StatusCode)
+	}
+
+	// Re-creation resumes from the final checkpoint the delete wrote.
+	resp = doLifecycle(t, http.MethodPut, ts.URL+"/v1/tenants/newt", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-create: status %d", resp.StatusCode)
+	}
+	var recreated TenantCreateResponse
+	decodeInto(t, resp, &recreated)
+	if !recreated.Resumed || recreated.Batches != 2 {
+		t.Fatalf("re-create acked %+v, want resumed with 2 batches", recreated)
+	}
+}
+
+// TestTenantLifecycleDisabled pins the static-topology behavior: without
+// a NewTenant template, creation is forbidden rather than silently
+// writing checkpoints to some default location.
+func TestTenantLifecycleDisabled(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Tenants: []WorldConfig{{Name: "t"}}})
+	defer func() {
+		if err := srv.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	resp := doLifecycle(t, http.MethodPut, ts.URL+"/v1/tenants/x", nil)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("create without template: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// TestTenantLifecycleWhileDraining pins that a draining server refuses
+// topology changes with 503 + Retry-After, like ingest.
+func TestTenantLifecycleWhileDraining(t *testing.T) {
+	srv, ts := newTestServer(t, templateConfig(t.TempDir()))
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{http.MethodPut, http.MethodDelete} {
+		resp := doLifecycle(t, method, ts.URL+"/v1/tenants/x", nil)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s while draining: status %d (Retry-After %q)", method, resp.StatusCode, resp.Header.Get("Retry-After"))
+		}
+	}
+}

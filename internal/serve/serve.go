@@ -42,8 +42,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -64,16 +64,24 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Clock supplies time for metrics; nil means time.Now.
 	Clock func() time.Time
+	// NewTenant, when non-nil, enables the dynamic lifecycle API
+	// (PUT/DELETE /v1/tenants/{t}): it returns the WorldConfig template for
+	// a tenant created at runtime — checkpoint path, decay, degradation
+	// policy — which the create request may override (shards, queue depth).
+	// Nil keeps the topology static: lifecycle requests answer 403.
+	NewTenant func(name string) (WorldConfig, error)
 }
 
 // Server hosts tenant worlds behind the HTTP/JSON API. Create with New,
 // expose with Handler, shut down with Drain.
 type Server struct {
+	mu             sync.RWMutex // guards worlds and names (lifecycle API mutates both)
 	worlds         map[string]*World
 	names          []string // sorted; fixes /metrics rendering order
 	mux            *http.ServeMux
 	requestTimeout time.Duration
 	clock          func() time.Time
+	newTenant      func(name string) (WorldConfig, error)
 	draining       atomic.Bool
 }
 
@@ -82,7 +90,9 @@ type Server struct {
 // by tenant name. Any world failing to open fails the whole server: a
 // daemon that silently dropped a tenant would serve 404s for real data.
 func New(cfg Config) (*Server, map[string]core.RestoreReport, error) {
-	if len(cfg.Tenants) == 0 {
+	if len(cfg.Tenants) == 0 && cfg.NewTenant == nil {
+		// An empty topology is only useful when tenants can be created at
+		// runtime through the lifecycle API.
 		return nil, nil, fmt.Errorf("serve: no tenants configured")
 	}
 	timeout := cfg.RequestTimeout
@@ -97,6 +107,7 @@ func New(cfg Config) (*Server, map[string]core.RestoreReport, error) {
 		worlds:         make(map[string]*World, len(cfg.Tenants)),
 		requestTimeout: timeout,
 		clock:          clock,
+		newTenant:      cfg.NewTenant,
 	}
 	reports := make(map[string]core.RestoreReport, len(cfg.Tenants))
 	for _, tc := range cfg.Tenants {
@@ -121,6 +132,8 @@ func New(cfg Config) (*Server, map[string]core.RestoreReport, error) {
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/trust", s.handleTrust)
+	s.mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handleTenantCreate)
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleTenantDelete)
 	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -141,10 +154,18 @@ func (s *Server) closeWorlds() {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // World returns the named tenant world, nil if unknown.
-func (s *Server) World(name string) *World { return s.worlds[name] }
+func (s *Server) World(name string) *World {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.worlds[name]
+}
 
 // TenantNames returns the hosted tenant names in sorted order.
-func (s *Server) TenantNames() []string { return append([]string(nil), s.names...) }
+func (s *Server) TenantNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.names...)
+}
 
 // Draining reports whether Drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -156,12 +177,21 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // drain error joined.
 func (s *Server) Drain() error {
 	s.draining.Store(true)
+	// The flag is set before the snapshot, so any lifecycle request still
+	// in flight either finished before this snapshot or answers 503; the
+	// world set is stable from here on.
+	s.mu.RLock()
+	worlds := make([]*World, 0, len(s.names))
 	for _, name := range s.names {
-		s.worlds[name].StopAdmitting()
+		worlds = append(worlds, s.worlds[name])
+	}
+	s.mu.RUnlock()
+	for _, w := range worlds {
+		w.StopAdmitting()
 	}
 	var errs []error
-	for _, name := range s.names {
-		if err := s.worlds[name].Drain(); err != nil {
+	for _, w := range worlds {
+		if err := w.Drain(); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -249,7 +279,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // world does not exist.
 func (s *Server) tenant(w http.ResponseWriter, r *http.Request) *World {
 	name := r.PathValue("tenant")
-	world := s.worlds[name]
+	world := s.World(name)
 	if world == nil {
 		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
 	}
@@ -318,51 +348,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if world == nil {
 		return
 	}
+	p, err := parseQueryParams(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	snap := world.Snapshot()
-	q := r.URL.Query()
-	factFilter := q.Get("fact")
-	batchFilter := -1
-	if b := q.Get("batch"); b != "" {
-		n, err := strconv.Atoi(b)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "bad batch %q", b)
-			return
-		}
-		batchFilter = n
-	}
-	var matched []core.StreamFact
-	for _, f := range snap.Facts {
-		if factFilter != "" && f.Name != factFilter {
-			continue
-		}
-		if batchFilter >= 0 && f.Batch != batchFilter {
-			continue
-		}
-		matched = append(matched, f)
-	}
-	offset, limit := 0, len(matched)
-	if o := q.Get("offset"); o != "" {
-		n, err := strconv.Atoi(o)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "bad offset %q", o)
-			return
-		}
-		offset = n
-	}
-	if l := q.Get("limit"); l != "" {
-		n, err := strconv.Atoi(l)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "bad limit %q", l)
-			return
-		}
-		limit = n
-	}
-	resp := QueryResponse{Tenant: world.Name(), Batches: snap.Batches, Total: len(matched)}
-	if offset < len(matched) {
-		page := matched[offset:]
-		if limit < len(page) {
-			page = page[:limit]
-		}
+	total, page := evalQuery(snap, p)
+	resp := QueryResponse{Tenant: world.Name(), Batches: snap.Batches, Total: total}
+	if p.top > 0 || p.offset < total {
 		resp.Facts = make([]FactJSON, len(page))
 		for i, f := range page {
 			resp.Facts[i] = FactJSON{Fact: f.Name, Batch: f.Batch, Probability: f.Probability, Prediction: f.Prediction}
@@ -390,12 +384,17 @@ func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
-	statuses := make([]TenantStatus, len(s.names))
-	for i, name := range s.names {
-		world := s.worlds[name]
+	s.mu.RLock()
+	worlds := make([]*World, 0, len(s.names))
+	for _, name := range s.names {
+		worlds = append(worlds, s.worlds[name])
+	}
+	s.mu.RUnlock()
+	statuses := make([]TenantStatus, len(worlds))
+	for i, world := range worlds {
 		snap := world.Snapshot()
 		statuses[i] = TenantStatus{
-			Name:     name,
+			Name:     world.Name(),
 			Batches:  snap.Batches,
 			Facts:    len(snap.Facts),
 			Sources:  len(snap.Trust),
@@ -412,11 +411,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		d = 1
 	}
+	s.mu.RLock()
+	worlds := make([]*World, 0, len(s.names))
+	for _, name := range s.names {
+		worlds = append(worlds, s.worlds[name])
+	}
+	s.mu.RUnlock()
 	fmt.Fprintf(w, "corrod_up 1\n")
 	fmt.Fprintf(w, "corrod_draining %d\n", d)
-	fmt.Fprintf(w, "corrod_tenants %d\n", len(s.names))
-	for _, name := range s.names {
-		s.worlds[name].writeMetrics(w, now)
+	fmt.Fprintf(w, "corrod_tenants %d\n", len(worlds))
+	for _, world := range worlds {
+		world.writeMetrics(w, now)
 	}
 }
 

@@ -280,6 +280,28 @@ func (d *Dataset) Golden() []int {
 // HasGolden reports whether an explicit golden set was declared.
 func (d *Dataset) HasGolden() bool { return d.golden != nil }
 
+// EachGolden iterates the evaluation subset in the order Golden returns it,
+// without allocating the copy Golden makes, stopping early when yield
+// returns false. It is the allocation-free hook the pipeline layer's
+// golden source and join build on.
+func (d *Dataset) EachGolden(yield func(f int) bool) {
+	if d.golden != nil {
+		for _, f := range d.golden {
+			if !yield(f) {
+				return
+			}
+		}
+		return
+	}
+	for f, l := range d.labels {
+		if l != Unknown {
+			if !yield(f) {
+				return
+			}
+		}
+	}
+}
+
 // Signature returns a canonical string identifying the exact vote pattern
 // on fact f, e.g. "2:T 4:T" or "3:F 4:T". Facts with equal signatures
 // received identical votes from identical sources and therefore form one

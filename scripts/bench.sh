@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the perf-trajectory benchmarks (core, score, entropy,
-# truth) and emit a BENCH_N.json mapping benchmark name → ns/op and
+# truth, pipeline) and emit a BENCH_N.json mapping benchmark name → ns/op and
 # allocs/op. The "baseline" section is parsed from scripts/baseline_seed.txt,
 # the raw benchmark output captured at the pre-engine seed, so every future
 # run is compared against the same fixed starting point.
@@ -20,12 +20,12 @@
 # query latency percentiles through the full admission/checkpoint path.
 # SERVE=0 skips it.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_4.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_5.json)
 #        BENCHTIME=2s scripts/bench.sh    to change -benchtime
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_4.json}
+OUT=${1:-BENCH_5.json}
 BENCHTIME=${BENCHTIME:-1s}
 DELTA_VS=""
 ROBUST=""
@@ -44,7 +44,7 @@ BENCH_*.json)
 	esac
 	;;
 esac
-PKGS="./internal/core ./internal/score ./internal/entropy ./internal/truth"
+PKGS="./internal/core ./internal/score ./internal/entropy ./internal/truth ./internal/pipeline"
 
 RAW=$(mktemp)
 GRID=$(mktemp)
